@@ -1,0 +1,127 @@
+//! **Ablation** (ours): which design choices in §IV actually carry the
+//! result? Five variants, evaluated at a fixed (scaled) N = 300:
+//!
+//! 1. baseline — corrected convention, LZSS NCD, destination distance on,
+//!    generic-token filtering on, all-nodes signature generation;
+//! 2. distance convention — the paper-literal §IV-B formulas as printed;
+//! 3. destination distance off (content-only clustering);
+//! 4. LZW instead of LZSS behind the NCD;
+//! 5. generic-token filtering off (§VI's `GET *` hazard);
+//! 6. single-cut selection instead of all-dendrogram-nodes.
+//!
+//! ```text
+//! cargo run --release -p leaksig-bench --bin ablation
+//! ```
+
+use leaksig_bench::{cli_config, generate, pct, rule};
+use leaksig_compress::{Compressor, Lzh, Lzss, Lzw};
+use leaksig_core::eval::tally;
+use leaksig_core::prelude::*;
+use leaksig_http::HttpPacket;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Run one variant end to end with an explicit compressor.
+fn run_variant<C: Compressor + Sync>(
+    compressor: C,
+    packets: &[&HttpPacket],
+    labels: &[bool],
+    n: usize,
+    cfg: &PipelineConfig,
+) -> ExperimentOutcome {
+    let mut suspicious: Vec<usize> = (0..packets.len()).filter(|&i| labels[i]).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.sample_seed);
+    suspicious.shuffle(&mut rng);
+    suspicious.truncate(n);
+    let sample: Vec<&HttpPacket> = suspicious.iter().map(|&i| packets[i]).collect();
+    let mut sampled = vec![false; packets.len()];
+    for &i in &suspicious {
+        sampled[i] = true;
+    }
+
+    let mut set = generate_signatures_with(compressor, &sample, cfg);
+    if let Some(v) = cfg.fp_validation {
+        let mut normal: Vec<usize> = (0..packets.len()).filter(|&i| !labels[i]).collect();
+        let mut vrng = StdRng::seed_from_u64(cfg.sample_seed ^ 0x4650);
+        normal.shuffle(&mut vrng);
+        normal.truncate(v.sample);
+        let normal_sample: Vec<&HttpPacket> = normal.iter().map(|&i| packets[i]).collect();
+        prune_against_normal(&mut set, &normal_sample, v.max_hits);
+    }
+    drop_dominated(&mut set);
+    let detector = Detector::new(set);
+    let detected = detector.scan(packets.iter().copied());
+    let counts = tally(labels, &detected, &sampled);
+    ExperimentOutcome {
+        rates: counts.rates(),
+        counts,
+        clusters: sample.len().saturating_mul(2).saturating_sub(1),
+        signatures: SignatureSet {
+            signatures: detector.signatures().to_vec(),
+        },
+    }
+}
+
+fn main() {
+    let config = cli_config();
+    let data = generate(config);
+    let packets: Vec<&HttpPacket> = data.packets.iter().map(|p| &p.packet).collect();
+    let labels: Vec<bool> = data.packets.iter().map(|p| p.is_sensitive()).collect();
+    let n = ((300.0 * config.scale).round() as usize).max(10);
+    eprintln!("ablation at N = {n}");
+
+    let base = PipelineConfig::default();
+
+    let mut literal = base.clone();
+    literal.distance.convention = DistanceConvention::PaperLiteral;
+
+    let mut no_dest = base.clone();
+    no_dest.distance.destination_weight = 0.0;
+
+    let mut unfiltered = base.clone();
+    unfiltered.signature.boilerplate.clear();
+    unfiltered.signature.min_anchor_len = 1;
+
+    let mut single_cut = base.clone();
+    single_cut.selection = ClusterSelection::Cut(1.6);
+
+    // 0 = LZSS, 1 = LZW, 2 = LZSS+Huffman.
+    let variants: Vec<(&str, PipelineConfig, u8)> = vec![
+        (
+            "baseline (corrected, LZSS, dst on, filter on)",
+            base.clone(),
+            0,
+        ),
+        ("paper-literal distance convention", literal, 0),
+        ("destination distance off", no_dest, 0),
+        ("LZW compressor for NCD", base.clone(), 1),
+        ("LZSS+Huffman (deflate-shaped) for NCD", base.clone(), 2),
+        ("generic-token filter off", unfiltered, 0),
+        ("single-cut selection (theta = 1.6)", single_cut, 0),
+    ];
+
+    println!("Ablation — fixed N = {n}\n");
+    println!(
+        "{:<46} {:>7} {:>7} {:>7} {:>6} {:>6}",
+        "variant", "TP", "FN", "FP", "F1", "sigs"
+    );
+    rule(84);
+    for (name, cfg, compressor) in variants {
+        let out = match compressor {
+            1 => run_variant(Lzw, &packets, &labels, n, &cfg),
+            2 => run_variant(Lzh::default(), &packets, &labels, n, &cfg),
+            _ => run_variant(Lzss::default(), &packets, &labels, n, &cfg),
+        };
+        println!(
+            "{:<46} {:>7} {:>7} {:>7} {:>6.3} {:>6}",
+            name,
+            pct(out.rates.true_positive),
+            pct(out.rates.false_negative),
+            pct(out.rates.false_positive),
+            out.counts.f1(),
+            out.signatures.len(),
+        );
+    }
+    rule(84);
+}

@@ -1,0 +1,111 @@
+//! **Cross-device generalization** (ours): the paper captures traffic on
+//! ONE handset, and its signatures embed that handset's identifier values
+//! (raw and hashed). What happens when those signatures meet the traffic
+//! of a *different* device running the same app population?
+//!
+//! Method: generate the market for device A, train signatures on it, then
+//! re-render the *identical* market (same apps, destinations, templates,
+//! quotas) with device B's identifiers and measure detection. Tokens
+//! split into two populations: identifier-value tokens (device-specific,
+//! dead on B) and module-template tokens (device-independent, alive).
+//!
+//! ```text
+//! cargo run --release -p leaksig-bench --bin crossdevice
+//! ```
+
+use leaksig_core::prelude::*;
+use leaksig_netsim::{Dataset, DeviceProfile, MarketConfig, MarketModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rates(detector: &Detector, data: &Dataset) -> (f64, f64) {
+    let (mut tp, mut fns, mut fp, mut tn) = (0usize, 0usize, 0usize, 0usize);
+    for p in &data.packets {
+        let hit = detector.match_packet(&p.packet).is_some();
+        match (p.is_sensitive(), hit) {
+            (true, true) => tp += 1,
+            (true, false) => fns += 1,
+            (false, true) => fp += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    (
+        tp as f64 / (tp + fns).max(1) as f64,
+        fp as f64 / (fp + tn).max(1) as f64,
+    )
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.25);
+
+    eprintln!("building market for device A (seed {seed}, scale {scale})...");
+    let model_a = MarketModel::build(MarketConfig::scaled(seed, scale));
+    let device_b = DeviceProfile::generate(&mut StdRng::seed_from_u64(seed ^ 0xdee_f1ce));
+    let model_b = model_a.clone().with_device(device_b);
+    let data_a = Dataset::render(model_a);
+    let data_b = Dataset::render(model_b);
+
+    // Train on device A's capture.
+    let packets_a: Vec<&leaksig_http::HttpPacket> =
+        data_a.packets.iter().map(|p| &p.packet).collect();
+    let labels_a: Vec<bool> = data_a.packets.iter().map(|p| p.is_sensitive()).collect();
+    let n = ((300.0 * scale).round() as usize).max(20);
+    let out = run_experiment_refs(&packets_a, &labels_a, n, &PipelineConfig::default());
+    let detector = Detector::new(out.signatures.clone());
+
+    // Token split: which signatures survive with a device-independent
+    // anchor?
+    let values_a = data_a.model.device.all_values();
+    let value_bound = out
+        .signatures
+        .signatures
+        .iter()
+        .filter(|s| {
+            s.tokens.iter().all(|t| {
+                values_a.iter().any(|(_, v)| {
+                    t.bytes()
+                        .windows(v.len().min(t.bytes().len()).max(1))
+                        .any(|w| w == v.as_bytes())
+                }) || t.bytes().len() < 10
+            })
+        })
+        .count();
+
+    let (tp_a, fp_a) = rates(&detector, &data_a);
+    let (tp_b, fp_b) = rates(&detector, &data_b);
+
+    println!("Cross-device generalization (N = {n}, scale {scale})\n");
+    println!(
+        "{} signatures; {} are identifier-value-bound",
+        out.signatures.len(),
+        value_bound
+    );
+    println!();
+    println!(
+        "{:<28} {:>10} {:>10}",
+        "evaluation target", "recall", "fp rate"
+    );
+    println!("{}", "-".repeat(52));
+    println!(
+        "{:<28} {:>9.1}% {:>9.1}%",
+        "device A (training device)",
+        100.0 * tp_a,
+        100.0 * fp_a
+    );
+    println!(
+        "{:<28} {:>9.1}% {:>9.1}%",
+        "device B (unseen device)",
+        100.0 * tp_b,
+        100.0 * fp_b
+    );
+    println!("{}", "-".repeat(52));
+    println!(
+        "\nreading: signatures anchored on identifier values are per-device\n\
+         by construction — the deployment in Fig. 3 implies a per-device\n\
+         payload check and per-population signature refresh, not a global\n\
+         signature set. Template-anchored signatures transfer; value-anchored\n\
+         ones must be regenerated from each fleet's own suspicious sample."
+    );
+}

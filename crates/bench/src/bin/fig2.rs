@@ -1,0 +1,63 @@
+//! Regenerate **Fig. 2**: cumulative frequency distribution of HTTP host
+//! destinations per application.
+//!
+//! ```text
+//! cargo run --release -p leaksig-bench --bin fig2
+//! ```
+
+use leaksig_bench::{cli_config, generate, pct, rule};
+use leaksig_netsim::stats;
+
+fn main() {
+    let config = cli_config();
+    let data = generate(config);
+    let counts = stats::destinations_per_app(&data);
+    let dist = stats::destination_distribution(&data);
+    let apps = dist.apps as f64;
+
+    println!("Fig. 2 — cumulative distribution of destinations per app\n");
+    println!("{:>12} {:>10} {:>10}", "x (dests)", "CDF(meas)", "CDF ref");
+    rule(36);
+    // Print the cumulative curve at the same support the paper's figure
+    // spans (1..~84), subsampled.
+    let paper_ref = |x: usize| -> Option<f64> {
+        match x {
+            1 => Some(0.07),
+            10 => Some(0.74),
+            16 => Some(0.90),
+            _ => None,
+        }
+    };
+    let max = counts.iter().copied().max().unwrap_or(1);
+    let mut x = 1usize;
+    while x <= max {
+        let cdf = counts.iter().filter(|&&c| c <= x).count() as f64 / apps;
+        let anchor = paper_ref(x).map(pct).unwrap_or_else(|| "".to_string());
+        println!("{x:>12} {:>10} {anchor:>10}", pct(cdf));
+        x = match x {
+            1..=9 => x + 1,
+            10..=19 => x + 2,
+            _ => x + 8,
+        };
+    }
+    rule(36);
+
+    println!("\nsummary                  measured   paper");
+    println!(
+        "apps with 1 destination  {:>8} {:>7}",
+        pct(dist.exactly_one as f64 / apps),
+        "7%"
+    );
+    println!(
+        "apps with <= 10          {:>8} {:>7}",
+        pct(dist.at_most_10 as f64 / apps),
+        "74%"
+    );
+    println!(
+        "apps with <= 16          {:>8} {:>7}",
+        pct(dist.at_most_16 as f64 / apps),
+        "90%"
+    );
+    println!("mean destinations        {:>8.2} {:>7}", dist.mean, "7.9");
+    println!("max destinations         {:>8} {:>7}", dist.max, "84");
+}

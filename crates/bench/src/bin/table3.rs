@@ -1,0 +1,65 @@
+//! Regenerate **Table III**: packets, applications and destinations per
+//! sensitive-information type.
+//!
+//! Ground truth comes from the generator's labels, and is cross-checked
+//! against the §IV-A payload check (the two must agree, and the binary
+//! verifies that before printing).
+//!
+//! ```text
+//! cargo run --release -p leaksig-bench --bin table3
+//! ```
+
+use leaksig_bench::{cli_config, dev, generate, rule};
+use leaksig_core::payload::PayloadCheck;
+use leaksig_netsim::plan::table_iii_targets;
+use leaksig_netsim::{stats, SensitiveKind};
+
+fn main() {
+    let config = cli_config();
+    let data = generate(config);
+
+    // Cross-check: the payload check must reproduce the labels exactly.
+    let check: PayloadCheck<SensitiveKind> = PayloadCheck::new(data.model.device.all_values());
+    let mut disagreements = 0usize;
+    for p in &data.packets {
+        if check.is_suspicious(&p.packet) != p.is_sensitive() {
+            disagreements += 1;
+        }
+    }
+    assert_eq!(
+        disagreements, 0,
+        "payload check disagrees with ground truth on {disagreements} packets"
+    );
+
+    let measured = stats::per_kind(&data);
+    println!("Table III — sensitive information in the trace\n");
+    println!(
+        "{:<22} {:>7}/{:>7} {:>6}/{:>6} {:>6}/{:>6}  {:>7}",
+        "type", "pkts", "paper", "apps", "paper", "dst", "paper", "Δpkts"
+    );
+    rule(82);
+    for (kind, pkts, apps, dests) in table_iii_targets() {
+        let m = measured.iter().find(|s| s.kind == kind).unwrap();
+        println!(
+            "{:<22} {:>7}/{:>7} {:>6}/{:>6} {:>6}/{:>6}  {:>7}",
+            kind.label(),
+            m.packets,
+            pkts,
+            m.apps,
+            apps,
+            m.destinations,
+            dests,
+            dev(m.packets as f64, pkts as f64),
+        );
+    }
+    rule(82);
+
+    let sensitive = data.sensitive_count();
+    println!(
+        "\nsensitive packets: {} of {} ({:.1}%; paper: 23,309 of 107,859 = 21.6%)",
+        sensitive,
+        data.packets.len(),
+        100.0 * sensitive as f64 / data.packets.len() as f64
+    );
+    println!("payload check needles: {}", check.needle_count());
+}

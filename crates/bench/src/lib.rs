@@ -1,0 +1,70 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Each binary regenerates one published table or figure from the paper
+//! and prints it side by side with the paper's numbers. All binaries
+//! accept two optional positional arguments: `seed` (default 42) and
+//! `scale` (default 1.0 = paper size), so `cargo run -p leaksig-bench
+//! --bin fig4 -- 7 0.25` gives a quick quarter-scale run.
+
+use leaksig_netsim::{Dataset, MarketConfig};
+
+/// Parse `[seed] [scale]` from the command line.
+pub fn cli_config() -> MarketConfig {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(42);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a float in (0,1]"))
+        .unwrap_or(1.0);
+    MarketConfig::scaled(seed, scale)
+}
+
+/// Generate the dataset, reporting timing to stderr.
+pub fn generate(config: MarketConfig) -> Dataset {
+    eprintln!(
+        "generating market (seed={}, scale={})...",
+        config.seed, config.scale
+    );
+    let t0 = std::time::Instant::now();
+    let data = Dataset::generate(config);
+    eprintln!(
+        "generated {} packets in {:?}",
+        data.packets.len(),
+        t0.elapsed()
+    );
+    data
+}
+
+/// Format a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Relative deviation of `measured` from `paper`, formatted.
+pub fn dev(measured: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return "-".to_string();
+    }
+    format!("{:+.1}%", 100.0 * (measured - paper) / paper)
+}
+
+/// Print a horizontal rule sized for the standard table width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.941), "94.1%");
+        assert_eq!(dev(110.0, 100.0), "+10.0%");
+        assert_eq!(dev(95.0, 100.0), "-5.0%");
+        assert_eq!(dev(5.0, 0.0), "-");
+    }
+}

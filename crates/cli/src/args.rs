@@ -1,0 +1,100 @@
+//! Minimal `--flag value` argument parsing (no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed arguments: the subcommand plus its `--key value` flags.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+/// Argument-parsing failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse `argv[1..]`: first token is the subcommand, the rest must be
+    /// `--key value` pairs.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ArgError> {
+        let mut it = argv.into_iter();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand".to_string()))?;
+        let mut flags = HashMap::new();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError(format!("expected --flag, got {tok:?}")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+            if flags.insert(key.to_string(), value).is_some() {
+                return Err(ArgError(format!("flag --{key} given twice")));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// Required string flag.
+    pub fn required(&self, key: &str) -> Result<&str, ArgError> {
+        self.flags
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// Optional string flag.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// Optional parsed flag with a default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("flag --{key}: cannot parse {raw:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["market", "--seed", "7", "--out", "x.lsc"]).unwrap();
+        assert_eq!(a.command, "market");
+        assert_eq!(a.required("seed").unwrap(), "7");
+        assert_eq!(a.optional("out"), Some("x.lsc"));
+        assert_eq!(a.optional("missing"), None);
+        assert_eq!(a.parsed_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(a.parsed_or("scale", 1.0f64).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["x", "naked"]).is_err());
+        assert!(parse(&["x", "--flag"]).is_err());
+        assert!(parse(&["x", "--a", "1", "--a", "2"]).is_err());
+        let a = parse(&["x", "--n", "abc"]).unwrap();
+        assert!(a.parsed_or("n", 5usize).is_err());
+        assert!(a.required("nope").is_err());
+    }
+}

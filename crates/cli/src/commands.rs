@@ -1,0 +1,240 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use crate::capture::{self, CaptureRecord};
+use crate::devicefile;
+use leaksig_core::prelude::*;
+use leaksig_core::wire;
+use leaksig_netsim::{Dataset, MarketConfig, SensitiveKind};
+
+/// `gate`: replay a capture through the on-device packet gate under a
+/// scripted user policy, printing the enforcement summary and the tail
+/// of the audit log.
+pub fn gate(args: &Args) -> Result<(), String> {
+    use leaksig_device::{GateAction, PacketGate, SignatureStore, UserChoice};
+
+    let records = capture::read_file(args.required("capture").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let set = load_sigs(args.required("sigs").map_err(|e| e.to_string())?)?;
+    // Scripted user: "block" (default) or "allow" every prompt, always.
+    let choice = match args.optional("policy").unwrap_or("block") {
+        "block" => UserChoice::BlockAlways,
+        "allow" => UserChoice::AllowAlways,
+        other => return Err(format!("--policy must be allow|block, got {other:?}")),
+    };
+
+    let store = SignatureStore::new();
+    store
+        .install(1, &wire::encode(&set))
+        .map_err(|e| e.to_string())?;
+    let gate = PacketGate::new(&store);
+
+    for rec in &records {
+        let app = rec.app.as_deref().unwrap_or("<unknown>");
+        if let GateAction::PendingPrompt { prompt_id, .. } = gate.intercept(app, &rec.packet) {
+            gate.answer(prompt_id, choice)
+                .map_err(|_| "prompt vanished".to_string())?;
+        }
+    }
+    let stats = gate.stats();
+    println!(
+        "replayed {} packets: {} forwarded, {} blocked, {} prompts",
+        records.len(),
+        stats.forwarded,
+        stats.blocked,
+        stats.prompted
+    );
+    println!(
+        "
+last 10 audit records:"
+    );
+    let log = gate.audit_log();
+    for rec in log.iter().rev().take(10).rev() {
+        println!(
+            "  #{:<6} {:<32} -> {:<28} {:<12} sig {:?}",
+            rec.seq, rec.app, rec.host, rec.action, rec.signature_id
+        );
+    }
+    Ok(())
+}
+
+/// `market`: synthesize a capture + device file.
+pub fn market(args: &Args) -> Result<(), String> {
+    let out = args.required("out").map_err(|e| e.to_string())?;
+    let device_path = args.required("device").map_err(|e| e.to_string())?;
+    let seed: u64 = args.parsed_or("seed", 42).map_err(|e| e.to_string())?;
+    let scale: f64 = args.parsed_or("scale", 0.05).map_err(|e| e.to_string())?;
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(format!("--scale must be in (0, 1], got {scale}"));
+    }
+
+    let data = Dataset::generate(MarketConfig::scaled(seed, scale));
+    let records: Vec<CaptureRecord> = data
+        .packets
+        .iter()
+        .map(|p| CaptureRecord {
+            app: Some(data.model.apps[p.app].package.clone()),
+            packet: p.packet.clone(),
+        })
+        .collect();
+    capture::write_file(out, &records).map_err(|e| e.to_string())?;
+    devicefile::write_file(device_path, &data.model.device).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} packets from {} apps to {out}; device identity to {device_path}",
+        records.len(),
+        data.model.apps.len()
+    );
+    Ok(())
+}
+
+fn load_check(device_path: &str) -> Result<PayloadCheck<SensitiveKind>, String> {
+    let device = devicefile::read_file(device_path).map_err(|e| e.to_string())?;
+    Ok(PayloadCheck::new(device.all_values()))
+}
+
+/// `check`: payload check over a capture, with per-kind counts.
+pub fn check(args: &Args) -> Result<(), String> {
+    let records = capture::read_file(args.required("capture").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let check = load_check(args.required("device").map_err(|e| e.to_string())?)?;
+
+    let mut suspicious = 0usize;
+    let mut per_kind: std::collections::BTreeMap<SensitiveKind, usize> = Default::default();
+    for rec in &records {
+        let kinds = check.scan(&rec.packet);
+        if !kinds.is_empty() {
+            suspicious += 1;
+            for k in kinds {
+                *per_kind.entry(k).or_default() += 1;
+            }
+        }
+    }
+    println!(
+        "{} packets: {} suspicious, {} normal",
+        records.len(),
+        suspicious,
+        records.len() - suspicious
+    );
+    for (kind, count) in per_kind {
+        println!("  {:<22} {count}", kind.label());
+    }
+    Ok(())
+}
+
+/// `generate`: payload check → sample → cluster → signatures → wire file.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let records = capture::read_file(args.required("capture").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let check = load_check(args.required("device").map_err(|e| e.to_string())?)?;
+    let out = args.required("out").map_err(|e| e.to_string())?;
+    let n: usize = args.parsed_or("n", 300).map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .parsed_or("seed", 0xC0FFEE)
+        .map_err(|e| e.to_string())?;
+
+    let packets: Vec<&leaksig_http::HttpPacket> = records.iter().map(|r| &r.packet).collect();
+    let labels: Vec<bool> = packets.iter().map(|p| check.is_suspicious(p)).collect();
+    let suspicious = labels.iter().filter(|&&s| s).count();
+    if suspicious == 0 {
+        return Err("no suspicious packets in the capture; nothing to cluster".to_string());
+    }
+
+    let config = PipelineConfig {
+        sample_seed: seed,
+        ..Default::default()
+    };
+    let outcome = run_experiment_refs(&packets, &labels, n, &config);
+    std::fs::write(out, wire::encode(&outcome.signatures))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "sampled {} of {} suspicious packets; {} signatures written to {out}",
+        outcome.counts.sample_n,
+        suspicious,
+        outcome.signatures.len()
+    );
+    println!(
+        "self-evaluation on this capture: TP {:.1}%  FN {:.1}%  FP {:.1}%",
+        100.0 * outcome.rates.true_positive,
+        100.0 * outcome.rates.false_negative,
+        100.0 * outcome.rates.false_positive
+    );
+    Ok(())
+}
+
+fn load_sigs(path: &str) -> Result<SignatureSet, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    wire::decode(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `detect`: scan a capture with a signature file; evaluate when a device
+/// file supplies ground truth.
+pub fn detect(args: &Args) -> Result<(), String> {
+    let records = capture::read_file(args.required("capture").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let set = load_sigs(args.required("sigs").map_err(|e| e.to_string())?)?;
+    let detector = Detector::new(set);
+
+    let mut hits = 0usize;
+    let mut per_app: std::collections::BTreeMap<&str, usize> = Default::default();
+    let mut detections: Vec<bool> = Vec::with_capacity(records.len());
+    for rec in &records {
+        let hit = detector.match_packet(&rec.packet).is_some();
+        detections.push(hit);
+        if hit {
+            hits += 1;
+            *per_app
+                .entry(rec.app.as_deref().unwrap_or("<unknown>"))
+                .or_default() += 1;
+        }
+    }
+    println!("{hits} of {} packets matched", records.len());
+
+    let mut worst: Vec<(&str, usize)> = per_app.into_iter().collect();
+    worst.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("top leaking apps:");
+    for (app, count) in worst.into_iter().take(8) {
+        println!("  {app:<36} {count}");
+    }
+
+    if let Some(device_path) = args.optional("device") {
+        let check = load_check(device_path)?;
+        let labels: Vec<bool> = records
+            .iter()
+            .map(|r| check.is_suspicious(&r.packet))
+            .collect();
+        let sampled = vec![false; records.len()];
+        let counts = leaksig_core::eval::tally(&labels, &detections, &sampled);
+        let rates = counts.rates();
+        println!(
+            "evaluation: TP {:.1}%  FN {:.1}%  FP {:.1}%  (precision {:.3}, recall {:.3})",
+            100.0 * rates.true_positive,
+            100.0 * rates.false_negative,
+            100.0 * rates.false_positive,
+            counts.precision(),
+            counts.recall()
+        );
+    }
+    Ok(())
+}
+
+/// `inspect`: human-readable dump of a signature file.
+pub fn inspect(args: &Args) -> Result<(), String> {
+    let set = load_sigs(args.required("sigs").map_err(|e| e.to_string())?)?;
+    println!("{} signatures, {} tokens", set.len(), set.token_count());
+    for sig in &set.signatures {
+        println!(
+            "\nsignature {} (cluster of {}, hosts: {})",
+            sig.id,
+            sig.cluster_size,
+            sig.hosts.join(", ")
+        );
+        for tok in &sig.tokens {
+            println!(
+                "  [{:<6}] {:?}",
+                tok.field.tag(),
+                String::from_utf8_lossy(tok.bytes())
+            );
+        }
+    }
+    Ok(())
+}

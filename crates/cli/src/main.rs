@@ -1,0 +1,64 @@
+//! `leaksig-cli` — drive the leaksig pipeline from the command line.
+//!
+//! ```text
+//! leaksig-cli market   --out capture.lsc --device device.txt [--seed 42] [--scale 0.05]
+//! leaksig-cli check    --capture capture.lsc --device device.txt
+//! leaksig-cli generate --capture capture.lsc --device device.txt --out sigs.txt [--n 300]
+//! leaksig-cli detect   --capture capture.lsc --sigs sigs.txt [--device device.txt]
+//! leaksig-cli inspect  --sigs sigs.txt
+//! ```
+//!
+//! The `market` command synthesizes a capture (stand-in for a real
+//! capture loop); every other command works on capture/signature files
+//! and would apply unchanged to real traffic dumps converted to the
+//! `.lsc` format.
+
+mod args;
+mod capture;
+mod commands;
+mod devicefile;
+
+use args::Args;
+
+const USAGE: &str = "\
+usage: leaksig-cli <command> [--flag value]...
+
+commands:
+  market    synthesize a market capture:  --out FILE --device FILE [--seed N] [--scale X]
+  check     run the payload check:        --capture FILE --device FILE
+  generate  generate signatures:          --capture FILE --device FILE --out FILE [--n N] [--seed N]
+  detect    apply signatures:             --capture FILE --sigs FILE [--device FILE]
+  gate      replay through the device gate: --capture FILE --sigs FILE [--policy allow|block]
+  inspect   print a signature set:        --sigs FILE
+";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
+        print!("{USAGE}");
+        return;
+    }
+    let exit = match run(argv) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprint!("{USAGE}");
+            1
+        }
+    };
+    std::process::exit(exit);
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(argv).map_err(|e| e.to_string())?;
+    match args.command.as_str() {
+        "market" => commands::market(&args),
+        "check" => commands::check(&args),
+        "generate" => commands::generate(&args),
+        "detect" => commands::detect(&args),
+        "gate" => commands::gate(&args),
+        "inspect" => commands::inspect(&args),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}

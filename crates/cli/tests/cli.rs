@@ -1,0 +1,130 @@
+//! End-to-end CLI test: market → check → generate → detect → inspect,
+//! exercising the real binary and the on-disk file formats.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_leaksig-cli"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("spawn leaksig-cli");
+    assert!(
+        out.status.success(),
+        "command {:?} failed:\nstdout: {}\nstderr: {}",
+        args,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn full_workflow() {
+    let dir = std::env::temp_dir().join(format!("leaksig-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    let (cap, dev, sigs) = (path("cap.lsc"), path("device.txt"), path("sigs.txt"));
+
+    // market
+    let out = run_ok(&[
+        "market", "--out", &cap, "--device", &dev, "--seed", "7", "--scale", "0.03",
+    ]);
+    assert!(out.contains("wrote"), "{out}");
+    assert!(std::fs::metadata(&cap).unwrap().len() > 10_000);
+
+    // check
+    let out = run_ok(&["check", "--capture", &cap, "--device", &dev]);
+    assert!(out.contains("suspicious"), "{out}");
+    let suspicious: usize = out
+        .split_whitespace()
+        .zip(out.split_whitespace().skip(1))
+        .find(|(_, w)| *w == "suspicious,")
+        .map(|(n, _)| n.parse().unwrap())
+        .expect("suspicious count in output");
+    assert!(suspicious > 100, "only {suspicious} suspicious packets");
+
+    // generate
+    let out = run_ok(&[
+        "generate",
+        "--capture",
+        &cap,
+        "--device",
+        &dev,
+        "--out",
+        &sigs,
+        "--n",
+        "80",
+    ]);
+    assert!(out.contains("signatures written"), "{out}");
+    let sig_text = std::fs::read_to_string(&sigs).unwrap();
+    assert!(sig_text.starts_with("LEAKSIG/1"));
+
+    // detect (with evaluation)
+    let out = run_ok(&[
+        "detect",
+        "--capture",
+        &cap,
+        "--sigs",
+        &sigs,
+        "--device",
+        &dev,
+    ]);
+    assert!(out.contains("matched"), "{out}");
+    assert!(out.contains("evaluation: TP"), "{out}");
+    // TP should be substantial at this scale.
+    let tp: f64 = out
+        .split("TP ")
+        .nth(1)
+        .and_then(|s| s.split('%').next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("TP in output");
+    assert!(tp > 50.0, "TP {tp}% too low; output:\n{out}");
+
+    // inspect
+    let out = run_ok(&["inspect", "--sigs", &sigs]);
+    assert!(out.contains("signature 0"), "{out}");
+
+    // gate replay with a block-everything user
+    let out = run_ok(&[
+        "gate",
+        "--capture",
+        &cap,
+        "--sigs",
+        &sigs,
+        "--policy",
+        "block",
+    ]);
+    assert!(out.contains("replayed"), "{out}");
+    assert!(out.contains("blocked"), "{out}");
+    let blocked: usize = out
+        .split_whitespace()
+        .zip(out.split_whitespace().skip(1))
+        .find(|(_, w)| *w == "blocked,")
+        .map(|(n, _)| n.parse().unwrap())
+        .expect("blocked count");
+    assert!(blocked > 50, "only {blocked} blocked");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    let out = bin().args(["wat"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = bin().args(["detect", "--capture"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+
+    let out = bin()
+        .args(["detect", "--capture", "/nonexistent.lsc", "--sigs", "/nope"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let out = bin().args(["--help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+}

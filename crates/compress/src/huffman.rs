@@ -1,0 +1,468 @@
+//! Canonical Huffman coding over bytes.
+//!
+//! Order-0 entropy coder used standalone (as [`Huffman`]) and as the
+//! second stage of [`crate::Lzh`] (LZSS token stream → Huffman), which
+//! approximates the LZ77+entropy-coding structure of DEFLATE and tightens
+//! the NCD's `C(·)` estimate.
+//!
+//! Stream layout:
+//!
+//! ```text
+//! [1 byte  ] format tag: 0 = empty, 1 = single-symbol run,
+//!            2 = coded, 3 = stored
+//! tag 1:  [1 byte symbol][4 bytes LE count]
+//! tag 2:  [RLE'd code-length table][4 bytes LE symbol count][bitstream]
+//! tag 3:  [raw bytes]   (fallback when coding would expand the input)
+//! ```
+//!
+//! The length table is run-length encoded as `(length, run)` byte pairs
+//! covering all 256 symbols. Codes are canonical (assigned in (length,
+//! symbol) order), so only the lengths travel; the decoder rebuilds the
+//! same codebook.
+
+use crate::{Compressor, DecodeError};
+
+/// Standalone order-0 Huffman compressor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Huffman;
+
+const TAG_EMPTY: u8 = 0;
+const TAG_RUN: u8 = 1;
+const TAG_CODED: u8 = 2;
+const TAG_STORED: u8 = 3;
+
+/// RLE the 256-entry length table as (length, run) pairs; runs cap at 255.
+fn encode_lengths(lengths: &[u8; 256], out: &mut Vec<u8>) {
+    let mut i = 0usize;
+    while i < 256 {
+        let v = lengths[i];
+        let mut run = 1usize;
+        while i + run < 256 && lengths[i + run] == v && run < 255 {
+            run += 1;
+        }
+        out.push(v);
+        out.push(run as u8);
+        i += run;
+    }
+}
+
+/// Inverse of [`encode_lengths`]; returns the table and bytes consumed.
+fn decode_lengths(data: &[u8]) -> Result<([u8; 256], usize), DecodeError> {
+    let mut lengths = [0u8; 256];
+    let mut covered = 0usize;
+    let mut pos = 0usize;
+    while covered < 256 {
+        let (&v, &run) = match (data.get(pos), data.get(pos + 1)) {
+            (Some(v), Some(r)) => (v, r),
+            _ => return Err(DecodeError::Truncated),
+        };
+        pos += 2;
+        let run = run as usize;
+        if run == 0 || covered + run > 256 {
+            return Err(DecodeError::Truncated);
+        }
+        lengths[covered..covered + run].fill(v);
+        covered += run;
+    }
+    Ok((lengths, pos))
+}
+
+/// Code lengths for each byte symbol via a heap-built Huffman tree.
+fn code_lengths(freq: &[u64; 256]) -> [u8; 256] {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        // Tie-break on id for determinism.
+        id: u32,
+        kind: NodeKind,
+    }
+    #[derive(PartialEq, Eq)]
+    enum NodeKind {
+        Leaf(u8),
+        Internal(Box<Node>, Box<Node>),
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for a min-heap via BinaryHeap.
+            other
+                .weight
+                .cmp(&self.weight)
+                .then_with(|| other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut lengths = [0u8; 256];
+    let mut heap: std::collections::BinaryHeap<Node> = freq
+        .iter()
+        .enumerate()
+        .filter(|&(_, &w)| w > 0)
+        .map(|(sym, &weight)| Node {
+            weight,
+            id: sym as u32,
+            kind: NodeKind::Leaf(sym as u8),
+        })
+        .collect();
+    match heap.len() {
+        0 => return lengths,
+        1 => {
+            if let NodeKind::Leaf(sym) = heap.pop().unwrap().kind {
+                lengths[sym as usize] = 1;
+            }
+            return lengths;
+        }
+        _ => {}
+    }
+    let mut next_id = 256u32;
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            id: next_id,
+            kind: NodeKind::Internal(Box::new(a), Box::new(b)),
+        });
+        next_id += 1;
+    }
+    // Walk the tree assigning depths iteratively.
+    let root = heap.pop().unwrap();
+    let mut stack = vec![(root, 0u8)];
+    while let Some((node, depth)) = stack.pop() {
+        match node.kind {
+            NodeKind::Leaf(sym) => lengths[sym as usize] = depth.max(1),
+            NodeKind::Internal(a, b) => {
+                stack.push((*a, depth + 1));
+                stack.push((*b, depth + 1));
+            }
+        }
+    }
+    lengths
+}
+
+/// Canonical codes from lengths: `(code, len)` per symbol, assigned in
+/// (length, symbol) order.
+fn canonical_codes(lengths: &[u8; 256]) -> [(u32, u8); 256] {
+    let mut order: Vec<u8> = (0u16..256).map(|s| s as u8).collect();
+    order.sort_by_key(|&s| (lengths[s as usize], s));
+    let mut codes = [(0u32, 0u8); 256];
+    let mut code = 0u32;
+    let mut prev_len = 0u8;
+    for &sym in order.iter().filter(|&&s| lengths[s as usize] > 0) {
+        let len = lengths[sym as usize];
+        code <<= len - prev_len;
+        codes[sym as usize] = (code, len);
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+impl Compressor for Huffman {
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        if data.is_empty() {
+            return vec![TAG_EMPTY];
+        }
+        let mut freq = [0u64; 256];
+        for &b in data {
+            freq[b as usize] += 1;
+        }
+        let distinct = freq.iter().filter(|&&f| f > 0).count();
+        if distinct == 1 {
+            let sym = freq.iter().position(|&f| f > 0).unwrap() as u8;
+            let mut out = vec![TAG_RUN, sym];
+            out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            return out;
+        }
+
+        let lengths = code_lengths(&freq);
+        let codes = canonical_codes(&lengths);
+        let mut out = Vec::with_capacity(64 + data.len() / 2);
+        out.push(TAG_CODED);
+        encode_lengths(&lengths, &mut out);
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+
+        let mut acc: u64 = 0;
+        let mut bits: u32 = 0;
+        for &b in data {
+            let (code, len) = codes[b as usize];
+            acc = (acc << len) | code as u64;
+            bits += len as u32;
+            while bits >= 8 {
+                bits -= 8;
+                out.push((acc >> bits) as u8);
+            }
+        }
+        if bits > 0 {
+            out.push((acc << (8 - bits)) as u8);
+        }
+        // Entropy coding can lose on short or flat inputs once the table
+        // header is paid for; fall back to a stored block.
+        if out.len() > data.len() + 1 {
+            let mut stored = Vec::with_capacity(data.len() + 1);
+            stored.push(TAG_STORED);
+            stored.extend_from_slice(data);
+            return stored;
+        }
+        out
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecodeError> {
+        match data.first() {
+            None => Err(DecodeError::Truncated),
+            Some(&TAG_EMPTY) => Ok(Vec::new()),
+            Some(&TAG_RUN) => {
+                if data.len() < 6 {
+                    return Err(DecodeError::Truncated);
+                }
+                let sym = data[1];
+                let count = u32::from_le_bytes(data[2..6].try_into().unwrap()) as usize;
+                Ok(vec![sym; count])
+            }
+            Some(&TAG_STORED) => Ok(data[1..].to_vec()),
+            Some(&TAG_CODED) => {
+                let (lengths, table_len) = decode_lengths(&data[1..])?;
+                let header_end = 1 + table_len;
+                if data.len() < header_end + 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let count = u32::from_le_bytes(data[header_end..header_end + 4].try_into().unwrap())
+                    as usize;
+                let bitstream = &data[header_end + 4..];
+
+                // Canonical decoding tables: per length, the first code
+                // and the slice of symbols using that length, in the same
+                // (length, symbol) order the encoder assigned codes in.
+                let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+                if max_len == 0 || max_len > 63 {
+                    return Err(DecodeError::Truncated);
+                }
+                let mut syms: Vec<u8> = (0u16..256)
+                    .map(|s| s as u8)
+                    .filter(|&s| lengths[s as usize] > 0)
+                    .collect();
+                syms.sort_by_key(|&s| (lengths[s as usize], s));
+                let mut len_count = vec![0u64; max_len + 1];
+                for &s in &syms {
+                    len_count[lengths[s as usize] as usize] += 1;
+                }
+                let mut first = vec![0u64; max_len + 1];
+                let mut offset = vec![0usize; max_len + 1];
+                let mut code = 0u64;
+                let mut idx = 0usize;
+                for len in 1..=max_len {
+                    first[len] = code;
+                    offset[len] = idx;
+                    code = (code + len_count[len]) << 1;
+                    idx += len_count[len] as usize;
+                }
+
+                // Bit-serial canonical decode.
+                let mut out = Vec::with_capacity(count);
+                let mut bit_pos = 0usize;
+                let total_bits = bitstream.len() * 8;
+                while out.len() < count {
+                    let mut cur_code = 0u64;
+                    let mut cur_len = 0usize;
+                    loop {
+                        if bit_pos == total_bits {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let bit = (bitstream[bit_pos / 8] >> (7 - bit_pos % 8)) & 1;
+                        bit_pos += 1;
+                        cur_code = (cur_code << 1) | bit as u64;
+                        cur_len += 1;
+                        if cur_len > max_len {
+                            return Err(DecodeError::Truncated);
+                        }
+                        if len_count[cur_len] > 0
+                            && cur_code >= first[cur_len]
+                            && cur_code - first[cur_len] < len_count[cur_len]
+                        {
+                            let sym = syms[offset[cur_len] + (cur_code - first[cur_len]) as usize];
+                            out.push(sym);
+                            break;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Some(&tag) => Err(DecodeError::BadCode(tag as u16)),
+        }
+    }
+}
+
+/// LZSS followed by Huffman — the DEFLATE-shaped chain, and the tightest
+/// `C(·)` this crate offers for NCD purposes.
+#[derive(Debug, Clone, Default)]
+pub struct Lzh {
+    lzss: crate::Lzss,
+}
+
+impl Lzh {
+    /// Chain with a custom LZSS stage.
+    pub fn new(lzss: crate::Lzss) -> Self {
+        Lzh { lzss }
+    }
+}
+
+impl Compressor for Lzh {
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        Huffman.compress(&self.lzss.compress(data))
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecodeError> {
+        self.lzss.decompress(&Huffman.decompress(data)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_h(data: &[u8]) {
+        let z = Huffman.compress(data);
+        assert_eq!(Huffman.decompress(&z).expect("decode"), data);
+    }
+
+    #[test]
+    fn huffman_edge_cases() {
+        round_trip_h(b"");
+        round_trip_h(b"a");
+        round_trip_h(b"aaaaaaaaaa");
+        round_trip_h(b"ab");
+        round_trip_h(&[0u8, 255, 0, 255, 128]);
+    }
+
+    #[test]
+    fn huffman_round_trips_text() {
+        let data =
+            b"GET /getad?androidid=f3a9c1d200b14e77&carrier=NTT+DOCOMO HTTP/1.1\r\n".repeat(5);
+        round_trip_h(&data);
+    }
+
+    #[test]
+    fn huffman_beats_raw_on_skewed_data() {
+        // Highly skewed byte distribution compresses well below 8 bits/sym.
+        let mut data = vec![b'e'; 4000];
+        data.extend_from_slice(&[b'x'; 100]);
+        data.extend_from_slice(b"rare bytes: qzj");
+        let z = Huffman.compress(&data);
+        assert!(
+            z.len() < data.len() / 4,
+            "expected >4x on skewed data, got {} -> {}",
+            data.len(),
+            z.len()
+        );
+        round_trip_h(&data);
+    }
+
+    #[test]
+    fn huffman_rejects_garbage() {
+        assert!(matches!(
+            Huffman.decompress(&[]),
+            Err(DecodeError::Truncated)
+        ));
+        assert!(matches!(
+            Huffman.decompress(&[9]),
+            Err(DecodeError::BadCode(9))
+        ));
+        assert!(matches!(
+            Huffman.decompress(&[TAG_RUN, b'a']),
+            Err(DecodeError::Truncated)
+        ));
+        // Coded header claiming symbols but with an empty bitstream.
+        let mut bogus = vec![TAG_CODED];
+        bogus.push(8u8); // all 256 symbols 8 bits...
+        bogus.push(255);
+        bogus.push(8u8);
+        bogus.push(1);
+        bogus.extend_from_slice(&5u32.to_le_bytes());
+        assert!(Huffman.decompress(&bogus).is_err());
+        // Truncated RLE table.
+        assert!(matches!(
+            Huffman.decompress(&[TAG_CODED, 4]),
+            Err(DecodeError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn lzh_round_trips() {
+        let z = Lzh::default();
+        for data in [
+            &b""[..],
+            b"a",
+            b"abcabcabcabc",
+            b"GET /ad?imei=355195000000017&slot=3 HTTP/1.1",
+        ] {
+            assert_eq!(z.decompress(&z.compress(data)).unwrap(), data);
+        }
+        let long = b"Host: ad-maker.info\r\nCookie: sid=0123456789abcdef\r\n".repeat(40);
+        assert_eq!(z.decompress(&z.compress(&long)).unwrap(), long);
+    }
+
+    #[test]
+    fn lzh_compresses_tighter_than_lzss_alone() {
+        // Varied requests: enough LZSS residue for entropy coding to bite.
+        let mut data = Vec::new();
+        for i in 0..60u32 {
+            data.extend_from_slice(
+                format!(
+                    "GET /getad?app=jp.co.app{i}.game&udid={:032x}&slot={} HTTP/1.1\r\n",
+                    (i as u128).wrapping_mul(0x9e3779b97f4a7c15_u128),
+                    i % 9
+                )
+                .as_bytes(),
+            );
+        }
+        let lzss_len = crate::Lzss::default().compressed_len(&data);
+        let lzh_len = Lzh::default().compressed_len(&data);
+        assert!(
+            lzh_len < lzss_len,
+            "lzh {lzh_len} should beat lzss {lzss_len}"
+        );
+    }
+
+    #[test]
+    fn huffman_never_expands_much() {
+        // Stored fallback bounds expansion to one tag byte.
+        let random: Vec<u8> = (0u32..500)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        assert!(Huffman.compress(&random).len() <= random.len() + 1);
+        let z = Huffman.compress(&random);
+        assert_eq!(Huffman.decompress(&z).unwrap(), random);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let mut freq = [0u64; 256];
+        for (i, f) in freq.iter_mut().enumerate().take(20) {
+            *f = (i as u64 + 1) * 7;
+        }
+        let lengths = code_lengths(&freq);
+        let codes = canonical_codes(&lengths);
+        let live: Vec<(u32, u8)> = (0..256)
+            .filter(|&s| lengths[s] > 0)
+            .map(|s| codes[s])
+            .collect();
+        for (i, &(ca, la)) in live.iter().enumerate() {
+            for &(cb, lb) in &live[i + 1..] {
+                let (short, slen, long, llen) = if la <= lb {
+                    (ca, la, cb, lb)
+                } else {
+                    (cb, lb, ca, la)
+                };
+                assert!(
+                    long >> (llen - slen) != short,
+                    "code {short:0slen$b} is a prefix of {long:0llen$b}",
+                    slen = slen as usize,
+                    llen = llen as usize
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! LZSS: sliding-window Lempel–Ziv with literal/match flag bits.
+//!
+//! Stream layout: groups of up to eight tokens, each group prefixed by a
+//! control byte whose bit *i* (LSB-first) says whether token *i* is a
+//! literal (0, one raw byte) or a match (1, two bytes packing a 12-bit
+//! backwards offset and a 4-bit length nibble). Lengths are stored as
+//! `len − MIN_MATCH`; the nibble value 15 marks an extended length, encoded
+//! LZ4-style as additional bytes (each 0–255, 255 meaning "more follows").
+//! Long matches therefore cost ~1 byte per extra 255 matched bytes, which
+//! keeps `C(xx) ≈ C(x)` — the NCD normality property clustering depends on.
+//!
+//! Matches are found with a hash-chain searcher over 3-byte prefixes — the
+//! same structure zlib uses — bounded by `max_chain` probes so compression
+//! stays near-linear on pathological inputs.
+
+use crate::{Compressor, DecodeError};
+
+/// Smallest match worth encoding: a match token costs 2 bytes + 1/8 flag,
+/// so 3 bytes is the break-even point.
+const MIN_MATCH: usize = 3;
+/// Length-nibble value that signals extension bytes follow.
+const LEN_EXTENDED: u16 = 15;
+/// Cap on match length: bounds per-position search work while keeping the
+/// encoder able to fold whole repeated packets into a couple of tokens.
+const MAX_MATCH: usize = 8192;
+/// Window size implied by the 12-bit offset field.
+const WINDOW: usize = 1 << 12;
+
+/// Number of hash-table heads (3-byte prefix hash, 15 bits).
+const HASH_SIZE: usize = 1 << 15;
+
+/// LZSS compressor configuration.
+#[derive(Debug, Clone)]
+pub struct Lzss {
+    /// Maximum hash-chain probes per position. Higher finds better matches
+    /// at more CPU cost; 32 is plenty for HTTP-sized inputs.
+    max_chain: usize,
+}
+
+impl Default for Lzss {
+    fn default() -> Self {
+        Lzss { max_chain: 32 }
+    }
+}
+
+impl Lzss {
+    /// A compressor with a custom chain-search bound (`max_chain ≥ 1`).
+    pub fn with_max_chain(max_chain: usize) -> Self {
+        Lzss {
+            max_chain: max_chain.max(1),
+        }
+    }
+
+    fn hash(data: &[u8], i: usize) -> usize {
+        let h = (data[i] as u32)
+            .wrapping_mul(506_832_829)
+            .wrapping_add((data[i + 1] as u32).wrapping_mul(2_654_435_761))
+            .wrapping_add((data[i + 2] as u32).wrapping_mul(2_246_822_519));
+        (h >> 17) as usize & (HASH_SIZE - 1)
+    }
+
+    /// Longest match for position `i`, returning `(offset, len)`.
+    fn find_match(
+        &self,
+        data: &[u8],
+        i: usize,
+        head: &[i32],
+        prev: &[i32],
+    ) -> Option<(usize, usize)> {
+        if i + MIN_MATCH > data.len() {
+            return None;
+        }
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_off = 0usize;
+        let max_len = MAX_MATCH.min(data.len() - i);
+        let mut cand = head[Self::hash(data, i)];
+        let mut probes = self.max_chain;
+        while cand >= 0 && probes > 0 {
+            let j = cand as usize;
+            if i - j > WINDOW {
+                break;
+            }
+            // Check the byte just past the current best first: cheap filter.
+            if data[j + best_len] == data[i + best_len] {
+                let mut l = 0;
+                while l < max_len && data[j + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_off = i - j;
+                    if l == max_len {
+                        break;
+                    }
+                }
+            }
+            cand = prev[j & (WINDOW - 1)];
+            probes -= 1;
+        }
+        (best_len >= MIN_MATCH).then_some((best_off, best_len))
+    }
+}
+
+/// Incremental token writer that maintains the control-byte groups.
+struct TokenWriter {
+    out: Vec<u8>,
+    /// Index of the pending control byte in `out`.
+    ctrl_at: usize,
+    /// Number of tokens already recorded in the pending control byte.
+    ctrl_used: u8,
+}
+
+impl TokenWriter {
+    fn new(capacity: usize) -> Self {
+        TokenWriter {
+            out: Vec::with_capacity(capacity),
+            ctrl_at: usize::MAX,
+            ctrl_used: 8, // force a fresh control byte on first token
+        }
+    }
+
+    fn begin_token(&mut self, is_match: bool) {
+        if self.ctrl_used == 8 {
+            self.ctrl_at = self.out.len();
+            self.out.push(0);
+            self.ctrl_used = 0;
+        }
+        if is_match {
+            self.out[self.ctrl_at] |= 1 << self.ctrl_used;
+        }
+        self.ctrl_used += 1;
+    }
+
+    fn literal(&mut self, b: u8) {
+        self.begin_token(false);
+        self.out.push(b);
+    }
+
+    fn back_ref(&mut self, offset: usize, len: usize) {
+        debug_assert!((1..=WINDOW).contains(&offset));
+        debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+        self.begin_token(true);
+        let off = (offset - 1) as u16; // 0-based, 12 bits
+        let l = len - MIN_MATCH;
+        let nibble = (l as u16).min(LEN_EXTENDED);
+        let packed = (off << 4) | nibble;
+        self.out.push((packed >> 8) as u8);
+        self.out.push(packed as u8);
+        if nibble == LEN_EXTENDED {
+            let mut rest = l - LEN_EXTENDED as usize;
+            loop {
+                let b = rest.min(255);
+                self.out.push(b as u8);
+                if b < 255 {
+                    break;
+                }
+                rest -= 255;
+            }
+        }
+    }
+}
+
+impl Compressor for Lzss {
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut w = TokenWriter::new(data.len() / 2 + 16);
+        if data.len() < MIN_MATCH {
+            for &b in data {
+                w.literal(b);
+            }
+            return w.out;
+        }
+
+        let mut head = vec![-1i32; HASH_SIZE];
+        let mut prev = vec![-1i32; WINDOW];
+        let insert = |head: &mut [i32], prev: &mut [i32], pos: usize| {
+            let h = Self::hash(data, pos);
+            prev[pos & (WINDOW - 1)] = head[h];
+            head[h] = pos as i32;
+        };
+
+        let mut i = 0usize;
+        while i < data.len() {
+            match self.find_match(data, i, &head, &prev) {
+                Some((off, len)) => {
+                    w.back_ref(off, len);
+                    // Index every covered position so later matches can
+                    // reference the interior of this one.
+                    let stop = (i + len).min(data.len().saturating_sub(MIN_MATCH - 1));
+                    for p in i..stop {
+                        insert(&mut head, &mut prev, p);
+                    }
+                    i += len;
+                }
+                None => {
+                    w.literal(data[i]);
+                    if i + MIN_MATCH <= data.len() {
+                        insert(&mut head, &mut prev, i);
+                    }
+                    i += 1;
+                }
+            }
+        }
+        w.out
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecodeError> {
+        let mut out = Vec::with_capacity(data.len() * 2);
+        let mut i = 0usize;
+        while i < data.len() {
+            let ctrl = data[i];
+            i += 1;
+            for bit in 0..8 {
+                if i == data.len() {
+                    // A control byte may cover fewer than 8 tokens at EOF,
+                    // but only if all remaining flag bits are zero-padding;
+                    // any set bit past the data is corruption we tolerate as
+                    // normal termination.
+                    break;
+                }
+                if ctrl & (1 << bit) == 0 {
+                    out.push(data[i]);
+                    i += 1;
+                } else {
+                    if i + 1 >= data.len() {
+                        return Err(DecodeError::Truncated);
+                    }
+                    let packed = u16::from_be_bytes([data[i], data[i + 1]]);
+                    i += 2;
+                    let offset = (packed >> 4) as usize + 1;
+                    let mut len = (packed & 0x0f) as usize + MIN_MATCH;
+                    if packed & 0x0f == LEN_EXTENDED {
+                        loop {
+                            if i == data.len() {
+                                return Err(DecodeError::Truncated);
+                            }
+                            let b = data[i];
+                            i += 1;
+                            len += b as usize;
+                            if b < 255 {
+                                break;
+                            }
+                        }
+                    }
+                    if offset > out.len() {
+                        return Err(DecodeError::BadBackReference {
+                            offset,
+                            produced: out.len(),
+                        });
+                    }
+                    let start = out.len() - offset;
+                    // Byte-at-a-time: back-references may overlap themselves.
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = Lzss::default();
+        let compressed = c.compress(data);
+        assert_eq!(
+            c.decompress(&compressed).expect("decode"),
+            data,
+            "round trip failed for {} bytes",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+    }
+
+    #[test]
+    fn highly_repetitive_compresses() {
+        let data = b"GET /ad?udid=abcdef GET /ad?udid=abcdef GET /ad?udid=abcdef".repeat(20);
+        let c = Lzss::default();
+        let z = c.compress(&data);
+        assert!(
+            z.len() < data.len() / 4,
+            "expected >4x compression, got {} -> {}",
+            data.len(),
+            z.len()
+        );
+        round_trip(&data);
+    }
+
+    #[test]
+    fn overlapping_back_reference() {
+        // "aaaa..." forces matches that overlap their own output.
+        round_trip(&vec![b'a'; 1000]);
+        round_trip(b"abababababababababababab");
+    }
+
+    #[test]
+    fn incompressible_data_expands_bounded() {
+        // A de Bruijn-ish pseudo-random buffer: no 3-byte repeats in window.
+        let data: Vec<u8> = (0u32..4096)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
+        let c = Lzss::default();
+        let z = c.compress(&data);
+        // Worst case is 1 control byte per 8 literals: 12.5% overhead.
+        assert!(z.len() <= data.len() + data.len() / 8 + 2);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn http_like_payload() {
+        let data = b"GET /getad?androidid=f3a9c1d200b14e77&carrier=NTTDOCOMO&fmt=json HTTP/1.1\r\nHost: ad-maker.info\r\nCookie: session=1234\r\n\r\n";
+        round_trip(data);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let c = Lzss::default();
+        let z = c.compress(&b"hello hello hello hello".repeat(4));
+        // Find a prefix that cuts a match token in half.
+        let mut saw_error = false;
+        for cut in 1..z.len() {
+            if matches!(c.decompress(&z[..cut]), Err(DecodeError::Truncated)) {
+                saw_error = true;
+                break;
+            }
+        }
+        assert!(saw_error, "no truncation error for any prefix");
+    }
+
+    #[test]
+    fn bad_back_reference_is_an_error() {
+        // Control byte: token 0 is a match; offset 100 into empty output.
+        let stream = [0b0000_0001u8, (99u16 << 4 >> 8) as u8, (99u16 << 4) as u8];
+        let c = Lzss::default();
+        match c.decompress(&stream) {
+            Err(DecodeError::BadBackReference { offset, produced }) => {
+                assert_eq!(offset, 100);
+                assert_eq!(produced, 0);
+            }
+            other => panic!("expected BadBackReference, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_chain_trades_size_for_speed() {
+        let data = b"param=value&param=value2&param=value3&other=value".repeat(30);
+        let shallow = Lzss::with_max_chain(1).compress(&data).len();
+        let deep = Lzss::with_max_chain(256).compress(&data).len();
+        assert!(deep <= shallow, "deeper search must not compress worse");
+        assert_eq!(
+            Lzss::with_max_chain(256)
+                .decompress(&Lzss::with_max_chain(256).compress(&data))
+                .unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn window_boundary_matches() {
+        // Repeat a block at exactly the window edge.
+        let block: Vec<u8> = (0..64u8).collect();
+        let mut data = block.clone();
+        data.extend(std::iter::repeat_n(b'x', WINDOW - 64));
+        data.extend_from_slice(&block);
+        round_trip(&data);
+    }
+}

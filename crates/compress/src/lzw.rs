@@ -1,0 +1,310 @@
+//! LZW: dictionary compression with fixed 12-bit codes.
+//!
+//! Codes 0–255 are the single-byte strings; 256 is a RESET marker; new
+//! entries are allocated from 257 upward. When the dictionary reaches 4096
+//! entries the encoder emits RESET and starts over, bounding memory and
+//! keeping the coder adaptive on long inputs. Codes are packed MSB-first,
+//! 12 bits each, with zero-padding to a byte boundary at the end.
+
+use crate::{Compressor, DecodeError};
+
+const CODE_BITS: u32 = 12;
+const MAX_CODES: u16 = 1 << CODE_BITS; // 4096
+const RESET: u16 = 256;
+const FIRST_FREE: u16 = 257;
+
+/// LZW compressor (no configuration; the code width is fixed).
+#[derive(Debug, Clone, Default)]
+pub struct Lzw;
+
+/// Writes a sequence of 12-bit codes MSB-first.
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u32,
+    bits: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            out: Vec::new(),
+            acc: 0,
+            bits: 0,
+        }
+    }
+
+    fn put(&mut self, code: u16) {
+        self.acc = (self.acc << CODE_BITS) | code as u32;
+        self.bits += CODE_BITS;
+        while self.bits >= 8 {
+            self.bits -= 8;
+            self.out.push((self.acc >> self.bits) as u8);
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.bits > 0 {
+            self.out.push((self.acc << (8 - self.bits)) as u8);
+        }
+        self.out
+    }
+}
+
+/// Reads 12-bit codes; returns `None` at clean end-of-stream.
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u32,
+    bits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            bits: 0,
+        }
+    }
+
+    fn next(&mut self) -> Option<u16> {
+        while self.bits < CODE_BITS {
+            if self.pos == self.data.len() {
+                // Fewer than CODE_BITS left: zero padding, clean end.
+                return None;
+            }
+            self.acc = (self.acc << 8) | self.data[self.pos] as u32;
+            self.pos += 1;
+            self.bits += 8;
+        }
+        self.bits -= CODE_BITS;
+        Some(((self.acc >> self.bits) as u16) & (MAX_CODES - 1))
+    }
+}
+
+/// Encoder dictionary: maps (prefix code, next byte) → code. Rebuilt on
+/// RESET.
+struct EncDict {
+    map: std::collections::HashMap<u32, u16>,
+    next: u16,
+}
+
+impl EncDict {
+    fn new() -> Self {
+        EncDict {
+            map: std::collections::HashMap::with_capacity(4096),
+            next: FIRST_FREE,
+        }
+    }
+
+    fn key(prefix: u16, byte: u8) -> u32 {
+        ((prefix as u32) << 8) | byte as u32
+    }
+
+    fn lookup(&self, prefix: u16, byte: u8) -> Option<u16> {
+        self.map.get(&Self::key(prefix, byte)).copied()
+    }
+
+    /// Insert; returns `true` if the dictionary is now full.
+    fn insert(&mut self, prefix: u16, byte: u8) -> bool {
+        self.map.insert(Self::key(prefix, byte), self.next);
+        self.next += 1;
+        self.next == MAX_CODES
+    }
+}
+
+impl Compressor for Lzw {
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        if data.is_empty() {
+            return w.finish();
+        }
+        let mut dict = EncDict::new();
+        let mut cur: u16 = data[0] as u16;
+        for &b in &data[1..] {
+            match dict.lookup(cur, b) {
+                Some(code) => cur = code,
+                None => {
+                    w.put(cur);
+                    if dict.insert(cur, b) {
+                        w.put(RESET);
+                        dict = EncDict::new();
+                    }
+                    cur = b as u16;
+                }
+            }
+        }
+        w.put(cur);
+        w.finish()
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecodeError> {
+        // Decoder dictionary: entry i denotes string(prefix) + last, where
+        // codes 0..=255 are the single-byte strings and entry i has code
+        // FIRST_FREE + i. Strings materialise by walking prefix links.
+        let mut entries: Vec<(u16, u8)> = Vec::with_capacity(4096);
+        let mut out = Vec::with_capacity(data.len() * 2);
+        let mut r = BitReader::new(data);
+        let mut prev: Option<u16> = None;
+        let mut scratch: Vec<u8> = Vec::with_capacity(64);
+
+        /// Append string(code) to `out`; returns its first byte.
+        fn emit(
+            code: u16,
+            entries: &[(u16, u8)],
+            out: &mut Vec<u8>,
+            scratch: &mut Vec<u8>,
+        ) -> Result<u8, DecodeError> {
+            scratch.clear();
+            let mut c = code;
+            loop {
+                if c < 256 {
+                    scratch.push(c as u8);
+                    break;
+                }
+                if c == RESET {
+                    return Err(DecodeError::BadCode(c));
+                }
+                match entries.get((c - FIRST_FREE) as usize) {
+                    Some(&(p, last)) => {
+                        scratch.push(last);
+                        c = p;
+                    }
+                    None => return Err(DecodeError::BadCode(c)),
+                }
+            }
+            let first = *scratch.last().expect("nonempty");
+            out.extend(scratch.iter().rev());
+            Ok(first)
+        }
+
+        /// First byte of string(code) without materialising it.
+        fn first_byte(code: u16, entries: &[(u16, u8)]) -> Result<u8, DecodeError> {
+            let mut c = code;
+            loop {
+                if c < 256 {
+                    return Ok(c as u8);
+                }
+                if c == RESET {
+                    return Err(DecodeError::BadCode(c));
+                }
+                match entries.get((c - FIRST_FREE) as usize) {
+                    Some(&(p, _)) => c = p,
+                    None => return Err(DecodeError::BadCode(c)),
+                }
+            }
+        }
+
+        while let Some(code) = r.next() {
+            if code == RESET {
+                entries.clear();
+                prev = None;
+                continue;
+            }
+            match prev {
+                None => {
+                    if code >= 256 {
+                        return Err(DecodeError::BadCode(code));
+                    }
+                    out.push(code as u8);
+                }
+                Some(p) => {
+                    let next_code = FIRST_FREE + entries.len() as u16;
+                    if code == next_code {
+                        // KwKwK: the code being defined by this very step.
+                        let fb = first_byte(p, &entries)?;
+                        entries.push((p, fb));
+                        emit(code, &entries, &mut out, &mut scratch)?;
+                    } else {
+                        let first = emit(code, &entries, &mut out, &mut scratch)?;
+                        entries.push((p, first));
+                    }
+                }
+            }
+            prev = Some(code);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = Lzw;
+        let z = c.compress(data);
+        assert_eq!(
+            c.decompress(&z).expect("decode"),
+            data,
+            "round trip failed for {} bytes",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"aaa");
+    }
+
+    #[test]
+    fn kwkwk_case() {
+        // The classic "abababab" pattern exercises code-defined-right-now.
+        round_trip(b"abababababababab");
+        round_trip(&vec![b'a'; 500]);
+    }
+
+    #[test]
+    fn repetitive_compresses() {
+        let data = b"Host: ad-maker.info\r\n".repeat(100);
+        let c = Lzw;
+        let z = c.compress(&data);
+        assert!(z.len() < data.len() / 2);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn dictionary_reset_path() {
+        // Enough distinct bigrams to overflow 4096 dictionary entries.
+        let mut data = Vec::new();
+        for i in 0..30000u32 {
+            data.push((i.wrapping_mul(2654435761) >> 13) as u8);
+            data.push((i.wrapping_mul(40503) >> 7) as u8);
+        }
+        round_trip(&data);
+    }
+
+    #[test]
+    fn all_byte_values() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(2048).collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn bad_code_is_an_error() {
+        // Hand-craft a stream whose second code references an undefined entry.
+        let mut w = BitWriter::new();
+        w.put(b'a' as u16);
+        w.put(4000); // far beyond anything defined
+        let stream = w.finish();
+        assert!(matches!(
+            Lzw.decompress(&stream),
+            Err(DecodeError::BadCode(_))
+        ));
+    }
+
+    #[test]
+    fn leading_high_code_is_an_error() {
+        let mut w = BitWriter::new();
+        w.put(300);
+        let stream = w.finish();
+        assert!(matches!(
+            Lzw.decompress(&stream),
+            Err(DecodeError::BadCode(300))
+        ));
+    }
+}

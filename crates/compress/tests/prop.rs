@@ -1,0 +1,106 @@
+//! Property tests for compressors and NCD.
+
+use leaksig_compress::{ncd, Compressor, Huffman, Lzh, Lzss, Lzw};
+use proptest::prelude::*;
+
+/// Byte strings biased toward the repetitive, ASCII-ish content HTTP
+/// packets actually contain, plus raw arbitrary bytes.
+fn payload() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..1024),
+        "[a-z0-9&=/?.:-]{0,400}".prop_map(|s| s.into_bytes()),
+        ("[a-z=&]{1,40}", 1usize..50).prop_map(|(s, n)| s.repeat(n).into_bytes()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn lzss_round_trip(data in payload()) {
+        let c = Lzss::default();
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_round_trip_any_chain(data in payload(), chain in 1usize..64) {
+        let c = Lzss::with_max_chain(chain);
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lzw_round_trip(data in payload()) {
+        let c = Lzw;
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn huffman_round_trip(data in payload()) {
+        let c = Huffman;
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lzh_round_trip(data in payload()) {
+        let c = Lzh::default();
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn huffman_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Huffman.decompress(&data);
+    }
+
+    /// The entropy-coded chain never does much worse than plain LZSS
+    /// (stored fallback bounds the loss to the tag byte).
+    #[test]
+    fn lzh_no_worse_than_lzss_plus_one(data in payload()) {
+        let lzss = Lzss::default().compressed_len(&data);
+        let lzh = Lzh::default().compressed_len(&data);
+        prop_assert!(lzh <= lzss + 1, "lzh {} vs lzss {}", lzh, lzss);
+    }
+
+    /// Decoding arbitrary garbage must never panic — it either round-trips
+    /// to *something* or returns a structured error.
+    #[test]
+    fn lzss_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Lzss::default().decompress(&data);
+    }
+
+    #[test]
+    fn lzw_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Lzw.decompress(&data);
+    }
+
+    /// NCD stays within the normalised band (small ε above 1 tolerated).
+    #[test]
+    fn ncd_bounds(x in payload(), y in payload()) {
+        let d = ncd(&Lzss::default(), &x, &y);
+        prop_assert!(d >= 0.0, "ncd = {}", d);
+        prop_assert!(d <= 1.5, "ncd = {}", d);
+    }
+
+    /// Self-distance is small relative to cross-distance against an
+    /// incompressible foil, for non-trivial inputs.
+    #[test]
+    fn ncd_self_lt_random(x in "[a-z0-9&=]{40,200}") {
+        let x = x.into_bytes();
+        let foil: Vec<u8> = (0u32..x.len() as u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let c = Lzss::default();
+        let d_self = ncd(&c, &x, &x);
+        let d_foil = ncd(&c, &x, &foil);
+        prop_assert!(d_self <= d_foil + 0.05, "{} > {}", d_self, d_foil);
+    }
+
+    /// Compression length is monotone-ish under concatenation:
+    /// C(xy) ≤ C(x) + C(y) + slack (subadditivity, a normality axiom).
+    #[test]
+    fn lzss_subadditive(x in payload(), y in payload()) {
+        let c = Lzss::default();
+        let mut xy = x.clone();
+        xy.extend_from_slice(&y);
+        let cxy = c.compressed_len(&xy);
+        let bound = c.compressed_len(&x) + c.compressed_len(&y) + 2;
+        prop_assert!(cxy <= bound, "C(xy)={} > C(x)+C(y)+2={}", cxy, bound);
+    }
+}

@@ -1,0 +1,417 @@
+//! Group-average agglomerative clustering (§IV-D).
+//!
+//! The paper assigns each packet its own cluster, then repeatedly merges
+//! the closest pair under the group-average (UPGMA) criterion until one
+//! cluster remains, producing a dendrogram. We implement exactly that,
+//! with the Lance–Williams update for group-average linkage:
+//!
+//! ```text
+//! d(k, i∪j) = (|i|·d(k,i) + |j|·d(k,j)) / (|i| + |j|)
+//! ```
+//!
+//! which avoids ever revisiting the raw point distances, plus a cached
+//! nearest-neighbour array so a merge step is O(n) amortised instead of a
+//! full O(n²) rescan (O(n²) worst case when merges invalidate neighbours).
+
+use crate::matrix::CondensedMatrix;
+
+/// Linkage criterion: how the distance between clusters is derived from
+/// point distances. The paper prescribes group average (§IV-D); single
+/// and complete linkage are provided for comparison — single linkage
+/// chains through near-duplicates (useful to see why the paper avoided
+/// it), complete linkage is the most conservative merger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Linkage {
+    /// UPGMA: `d(k, i∪j) = (|i|·d(k,i) + |j|·d(k,j)) / (|i|+|j|)`.
+    #[default]
+    GroupAverage,
+    /// Nearest member: `d(k, i∪j) = min(d(k,i), d(k,j))`.
+    Single,
+    /// Farthest member: `d(k, i∪j) = max(d(k,i), d(k,j))`.
+    Complete,
+}
+
+/// One merge step. Node ids follow the scipy linkage convention: leaves
+/// are `0..n`, the cluster created by merge `m` has id `n + m`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// Merged node id (leaf or earlier merge).
+    pub a: usize,
+    /// Merged node id.
+    pub b: usize,
+    /// Group-average distance between `a` and `b` at merge time.
+    pub distance: f64,
+    /// Leaves under the new cluster.
+    pub size: usize,
+}
+
+/// The full merge history over `n` leaves (`n − 1` merges).
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        self.n
+    }
+
+    /// The merges, in execution order (non-decreasing distance is NOT
+    /// guaranteed by group-average linkage: inversions are possible).
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// The leaf members of node `id` (a leaf or an internal node).
+    pub fn members(&self, id: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(node) = stack.pop() {
+            if node < self.n {
+                out.push(node);
+            } else {
+                let m = &self.merges[node - self.n];
+                stack.push(m.a);
+                stack.push(m.b);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Cut the dendrogram at `threshold`: clusters are the maximal nodes
+    /// whose merge distance is ≤ `threshold`. Returns leaf partitions,
+    /// largest first.
+    pub fn cut(&self, threshold: f64) -> Vec<Vec<usize>> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        // A node survives the cut if it is a leaf or its merge distance is
+        // within threshold; clusters are survivor nodes whose parent (if
+        // any) does not survive.
+        let total = self.n + self.merges.len();
+        let mut parent = vec![usize::MAX; total];
+        for (m, merge) in self.merges.iter().enumerate() {
+            parent[merge.a] = self.n + m;
+            parent[merge.b] = self.n + m;
+        }
+        let survives = |id: usize| id < self.n || self.merges[id - self.n].distance <= threshold;
+        let mut clusters = Vec::new();
+        for (id, &par) in parent.iter().enumerate() {
+            if survives(id) && (par == usize::MAX || !survives(par)) {
+                clusters.push(self.members(id));
+            }
+        }
+        clusters.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+        clusters
+    }
+
+    /// Cut into (at most) `k` clusters by undoing the last merges.
+    /// Returns leaf partitions, largest first.
+    pub fn cut_into(&self, k: usize) -> Vec<Vec<usize>> {
+        if self.n == 0 || k == 0 {
+            return Vec::new();
+        }
+        let keep_merges = self
+            .merges
+            .len()
+            .saturating_sub(k.saturating_sub(1).min(self.merges.len()));
+        // Nodes: leaves plus the first `keep_merges` merges; clusters are
+        // the roots of that forest.
+        let total = self.n + keep_merges;
+        let mut parent = vec![usize::MAX; total];
+        for (m, merge) in self.merges.iter().take(keep_merges).enumerate() {
+            parent[merge.a] = self.n + m;
+            parent[merge.b] = self.n + m;
+        }
+        let mut clusters = Vec::new();
+        for (id, &par) in parent.iter().enumerate() {
+            if par == usize::MAX {
+                clusters.push(self.members_bounded(id, keep_merges));
+            }
+        }
+        clusters.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+        clusters
+    }
+
+    fn members_bounded(&self, id: usize, keep: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(node) = stack.pop() {
+            if node < self.n {
+                out.push(node);
+            } else {
+                debug_assert!(node - self.n < keep);
+                let m = &self.merges[node - self.n];
+                stack.push(m.a);
+                stack.push(m.b);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Run group-average agglomerative clustering over a precomputed distance
+/// matrix (the paper's §IV-D configuration). `O(n²)` memory,
+/// `O(n²)`–`O(n³)` time (fine for the paper's sample sizes; `N = 500`
+/// clusters in well under a second).
+pub fn agglomerate(matrix: &CondensedMatrix) -> Dendrogram {
+    agglomerate_with(matrix, Linkage::GroupAverage)
+}
+
+/// [`agglomerate`] under an explicit linkage criterion.
+pub fn agglomerate_with(matrix: &CondensedMatrix, linkage: Linkage) -> Dendrogram {
+    let n = matrix.len();
+    if n == 0 {
+        return Dendrogram {
+            n,
+            merges: Vec::new(),
+        };
+    }
+
+    // Working distance matrix between active clusters, full storage for
+    // cache-friendly row scans.
+    let mut d = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            d[i * n + j] = matrix.get(i, j);
+        }
+    }
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<usize> = vec![1; n];
+    // Current dendrogram node id of working slot `i`.
+    let mut node: Vec<usize> = (0..n).collect();
+    // Cached nearest neighbour (slot, distance) per active slot.
+    let mut nn: Vec<(usize, f64)> = vec![(usize::MAX, f64::INFINITY); n];
+    let find_nn = |d: &[f64], active: &[bool], i: usize| -> (usize, f64) {
+        let mut best = (usize::MAX, f64::INFINITY);
+        for j in 0..n {
+            if j != i && active[j] {
+                let dist = d[i * n + j];
+                if dist < best.1 {
+                    best = (j, dist);
+                }
+            }
+        }
+        best
+    };
+    for (i, slot) in nn.iter_mut().enumerate() {
+        *slot = find_nn(&d, &active, i);
+    }
+
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    for step in 0..n.saturating_sub(1) {
+        // Find the globally closest pair via the NN cache.
+        let (mut i, mut best) = (usize::MAX, f64::INFINITY);
+        for s in 0..n {
+            if active[s] && nn[s].1 < best {
+                best = nn[s].1;
+                i = s;
+            }
+        }
+        let j = nn[i].0;
+        debug_assert!(active[i] && active[j]);
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+
+        // Record the merge; slot i becomes the merged cluster, j dies.
+        merges.push(Merge {
+            a: node[i],
+            b: node[j],
+            distance: d[i * n + j],
+            size: size[i] + size[j],
+        });
+        node[i] = n + step;
+
+        // Lance–Williams update into row/column i.
+        let (si, sj) = (size[i] as f64, size[j] as f64);
+        for k in 0..n {
+            if k != i && k != j && active[k] {
+                let (dik, djk) = (d[i * n + k], d[j * n + k]);
+                let v = match linkage {
+                    Linkage::GroupAverage => (si * dik + sj * djk) / (si + sj),
+                    Linkage::Single => dik.min(djk),
+                    Linkage::Complete => dik.max(djk),
+                };
+                d[i * n + k] = v;
+                d[k * n + i] = v;
+            }
+        }
+        size[i] += size[j];
+        active[j] = false;
+
+        // Refresh invalidated nearest-neighbour entries.
+        nn[i] = find_nn(&d, &active, i);
+        for k in 0..n {
+            if active[k] && k != i && (nn[k].0 == i || nn[k].0 == j) {
+                nn[k] = find_nn(&d, &active, k);
+            } else if active[k] && k != i {
+                // Row k only got one new candidate: the merged cluster.
+                let v = d[k * n + i];
+                if v < nn[k].1 {
+                    nn[k] = (i, v);
+                }
+            }
+        }
+    }
+
+    Dendrogram { n, merges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Matrix with two tight groups {0,1,2} and {3,4}, far apart.
+    fn two_blob_matrix() -> CondensedMatrix {
+        let mut m = CondensedMatrix::zeros(5);
+        let points = [0.0f64, 0.1, 0.2, 10.0, 10.1];
+        for i in 0..5 {
+            for j in i + 1..5 {
+                m.set(i, j, (points[i] - points[j]).abs());
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn merges_count_and_sizes() {
+        let dg = agglomerate(&two_blob_matrix());
+        assert_eq!(dg.leaves(), 5);
+        assert_eq!(dg.merges().len(), 4);
+        assert_eq!(dg.merges().last().unwrap().size, 5);
+    }
+
+    #[test]
+    fn cut_separates_blobs() {
+        let dg = agglomerate(&two_blob_matrix());
+        let clusters = dg.cut(1.0);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![0, 1, 2]);
+        assert_eq!(clusters[1], vec![3, 4]);
+    }
+
+    #[test]
+    fn cut_zero_gives_singletons_cut_inf_gives_one() {
+        let dg = agglomerate(&two_blob_matrix());
+        let singles = dg.cut(-1.0);
+        assert_eq!(singles.len(), 5);
+        let all = dg.cut(f64::INFINITY);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cut_into_k() {
+        let dg = agglomerate(&two_blob_matrix());
+        assert_eq!(dg.cut_into(1).len(), 1);
+        let two = dg.cut_into(2);
+        assert_eq!(two.len(), 2);
+        assert_eq!(two[0], vec![0, 1, 2]);
+        assert_eq!(dg.cut_into(5).len(), 5);
+        // Asking for more clusters than leaves caps at leaves.
+        assert_eq!(dg.cut_into(50).len(), 5);
+    }
+
+    #[test]
+    fn partition_property_holds_for_any_cut() {
+        let dg = agglomerate(&two_blob_matrix());
+        for t in [0.0, 0.05, 0.15, 0.5, 3.0, 20.0] {
+            let clusters = dg.cut(t);
+            let mut all: Vec<usize> = clusters.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3, 4], "cut at {t}");
+        }
+    }
+
+    #[test]
+    fn group_average_distance_is_exact() {
+        // Three points: d(0,1)=1, d(0,2)=4, d(1,2)=6.
+        // First merge {0,1} at 1; then d({0,1},2) = (4+6)/2 = 5.
+        let mut m = CondensedMatrix::zeros(3);
+        m.set(0, 1, 1.0);
+        m.set(0, 2, 4.0);
+        m.set(1, 2, 6.0);
+        let dg = agglomerate(&m);
+        assert_eq!(dg.merges()[0].distance, 1.0);
+        assert_eq!(dg.merges()[1].distance, 5.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = agglomerate(&CondensedMatrix::zeros(0));
+        assert_eq!(empty.leaves(), 0);
+        assert!(empty.cut(1.0).is_empty());
+
+        let single = agglomerate(&CondensedMatrix::zeros(1));
+        assert_eq!(single.leaves(), 1);
+        assert_eq!(single.cut(1.0), vec![vec![0]]);
+        assert_eq!(single.cut_into(3), vec![vec![0]]);
+    }
+
+    #[test]
+    fn members_of_internal_nodes() {
+        let dg = agglomerate(&two_blob_matrix());
+        let root = dg.leaves() + dg.merges().len() - 1;
+        assert_eq!(dg.members(root), vec![0, 1, 2, 3, 4]);
+        assert_eq!(dg.members(2), vec![2]);
+    }
+
+    #[test]
+    fn single_linkage_chains_where_group_average_does_not() {
+        // Points on a line at 0, 1, 2, 3 (each neighbour 1 apart) plus an
+        // outlier at 10. Single linkage happily chains the whole line at
+        // distance 1; group average sees growing cluster distances.
+        let pts = [0.0f64, 1.0, 2.0, 3.0, 10.0];
+        let mut m = CondensedMatrix::zeros(5);
+        for i in 0..5 {
+            for j in i + 1..5 {
+                m.set(i, j, (pts[i] - pts[j]).abs());
+            }
+        }
+        let single = agglomerate_with(&m, Linkage::Single);
+        let chained = single.cut(1.0);
+        assert_eq!(chained[0], vec![0, 1, 2, 3], "single linkage chains");
+
+        let avg = agglomerate_with(&m, Linkage::GroupAverage);
+        let conservative = avg.cut(1.0);
+        assert!(
+            conservative[0].len() < 4,
+            "group average must not chain the full line at threshold 1: {conservative:?}"
+        );
+    }
+
+    #[test]
+    fn complete_linkage_is_most_conservative() {
+        let pts = [0.0f64, 1.0, 2.0, 3.0];
+        let mut m = CondensedMatrix::zeros(4);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                m.set(i, j, (pts[i] - pts[j]).abs());
+            }
+        }
+        // Root merge distance ordering: single <= average <= complete.
+        let root = |l: Linkage| agglomerate_with(&m, l).merges().last().unwrap().distance;
+        let (s, a, c) = (
+            root(Linkage::Single),
+            root(Linkage::GroupAverage),
+            root(Linkage::Complete),
+        );
+        assert!(s <= a && a <= c, "single {s}, avg {a}, complete {c}");
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        let mut m = CondensedMatrix::zeros(4);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                m.set(i, j, 1.0);
+            }
+        }
+        let a = agglomerate(&m);
+        let b = agglomerate(&m);
+        assert_eq!(a.merges(), b.merges());
+    }
+}

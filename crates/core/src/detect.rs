@@ -1,0 +1,310 @@
+//! The detector: apply a signature set to packets.
+
+use crate::signature::{ConjunctionSignature, SignatureSet};
+use leaksig_http::HttpPacket;
+
+/// How a signature is judged against a packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatchMode {
+    /// Every token must be present (the paper's conjunction semantics).
+    Conjunction,
+    /// At least this fraction of tokens must be present — *probabilistic
+    /// signatures*, the §VI future-work extension. `Fraction(1.0)` is
+    /// equivalent to [`MatchMode::Conjunction`].
+    Fraction(f64),
+    /// Tokens must appear in order within each field (Polygraph's
+    /// token-subsequence class) — strictly stronger than the conjunction,
+    /// trading recall for resistance to token-shuffling evasion.
+    Ordered,
+}
+
+/// A compiled signature set ready for high-volume matching.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    set: SignatureSet,
+    mode: MatchMode,
+}
+
+/// A positive detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detection {
+    /// Id of the first matching signature.
+    pub signature_id: u32,
+}
+
+/// A detection with the evidence a user-facing prompt needs: which
+/// signature fired, where its cluster's traffic was headed, and the
+/// matched invariant tokens (rendered lossily for display).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Explanation {
+    /// Id of the matching signature.
+    pub signature_id: u32,
+    /// Destinations observed in the signature's source cluster.
+    pub hosts: Vec<String>,
+    /// The tokens that matched, longest first, as display strings.
+    pub matched_tokens: Vec<String>,
+}
+
+impl Detector {
+    /// Wrap a signature set with conjunction matching. Tokens are already
+    /// ordered longest-first by generation; no further compilation is
+    /// needed.
+    pub fn new(set: SignatureSet) -> Self {
+        Detector {
+            set,
+            mode: MatchMode::Conjunction,
+        }
+    }
+
+    /// Wrap a signature set with an explicit match mode.
+    pub fn with_mode(set: SignatureSet, mode: MatchMode) -> Self {
+        if let MatchMode::Fraction(f) = mode {
+            assert!(
+                (0.0..=1.0).contains(&f) && f > 0.0,
+                "fraction threshold must be in (0, 1], got {f}"
+            );
+        }
+        Detector { set, mode }
+    }
+
+    fn sig_matches(&self, sig: &ConjunctionSignature, packet: &HttpPacket) -> bool {
+        match self.mode {
+            MatchMode::Conjunction => sig.matches(packet),
+            MatchMode::Fraction(threshold) => sig.match_fraction(packet) >= threshold,
+            MatchMode::Ordered => sig.matches_ordered(packet),
+        }
+    }
+
+    /// The underlying signatures.
+    pub fn signatures(&self) -> &[ConjunctionSignature] {
+        &self.set.signatures
+    }
+
+    /// First matching signature, if any.
+    pub fn match_packet(&self, packet: &HttpPacket) -> Option<Detection> {
+        self.set
+            .signatures
+            .iter()
+            .find(|s| self.sig_matches(s, packet))
+            .map(|s| Detection { signature_id: s.id })
+    }
+
+    /// All matching signature ids (diagnostics; `match_packet` is the
+    /// fast path).
+    pub fn matches_all(&self, packet: &HttpPacket) -> Vec<u32> {
+        self.set
+            .signatures
+            .iter()
+            .filter(|s| self.sig_matches(s, packet))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Like [`Detector::match_packet`], but returns the evidence for a
+    /// user-facing prompt ("this request matches signature N, whose
+    /// cluster sent traffic to these hosts, on these invariants").
+    pub fn explain(&self, packet: &HttpPacket) -> Option<Explanation> {
+        let sig = self
+            .set
+            .signatures
+            .iter()
+            .find(|s| self.sig_matches(s, packet))?;
+        let matched_tokens = sig
+            .tokens
+            .iter()
+            .map(|t| String::from_utf8_lossy(t.bytes()).into_owned())
+            .collect();
+        Some(Explanation {
+            signature_id: sig.id,
+            hosts: sig.hosts.clone(),
+            matched_tokens,
+        })
+    }
+
+    /// Detection mask over a packet slice.
+    pub fn scan<'a, I>(&self, packets: I) -> Vec<bool>
+    where
+        I: IntoIterator<Item = &'a HttpPacket>,
+    {
+        packets
+            .into_iter()
+            .map(|p| self.match_packet(p).is_some())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::{signature_from_cluster, SignatureConfig};
+    use leaksig_http::RequestBuilder;
+    use std::net::Ipv4Addr;
+
+    fn sig_for(host: &str, id_param: &str, value: &str, id: u32) -> ConjunctionSignature {
+        let mk = |slot: &str| {
+            RequestBuilder::get("/ad")
+                .query(id_param, value)
+                .query("slot", slot)
+                .destination(Ipv4Addr::new(203, 0, 113, 9), 80, host)
+                .build()
+        };
+        let (a, b) = (mk("1"), (mk("2")));
+        signature_from_cluster(id, &[&a, &b], &SignatureConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn detector_matches_and_identifies() {
+        let s1 = sig_for("ad-maker.info", "imei", "355195000000017", 10);
+        let s2 = sig_for("nend.net", "udid", "dd72cbaeab8d2e442d92e90c2e829e4b", 20);
+        let det = Detector::new(SignatureSet {
+            signatures: vec![s1, s2],
+        });
+        assert_eq!(det.signatures().len(), 2);
+
+        let hit = RequestBuilder::get("/ad")
+            .query("udid", "dd72cbaeab8d2e442d92e90c2e829e4b")
+            .query("slot", "9")
+            .destination(Ipv4Addr::new(203, 0, 113, 9), 80, "nend.net")
+            .build();
+        assert_eq!(det.match_packet(&hit), Some(Detection { signature_id: 20 }));
+        assert_eq!(det.matches_all(&hit), vec![20]);
+
+        let miss = RequestBuilder::get("/img/x.png")
+            .destination(Ipv4Addr::new(198, 51, 100, 1), 80, "cdn.example")
+            .build();
+        assert_eq!(det.match_packet(&miss), None);
+        assert!(det.matches_all(&miss).is_empty());
+    }
+
+    #[test]
+    fn scan_produces_mask() {
+        let s = sig_for("ad-maker.info", "imei", "355195000000017", 1);
+        let det = Detector::new(SignatureSet {
+            signatures: vec![s],
+        });
+        let hit = RequestBuilder::get("/ad")
+            .query("imei", "355195000000017")
+            .query("slot", "3")
+            .destination(Ipv4Addr::new(203, 0, 113, 9), 80, "ad-maker.info")
+            .build();
+        let miss = RequestBuilder::get("/other")
+            .destination(Ipv4Addr::new(203, 0, 113, 9), 80, "ad-maker.info")
+            .build();
+        let mask = det.scan([&hit, &miss, &hit]);
+        assert_eq!(mask, vec![true, false, true]);
+    }
+
+    #[test]
+    fn fraction_mode_tolerates_one_renamed_token() {
+        // Build a signature spanning two fields (request line + cookie),
+        // then probe with a packet missing exactly the cookie token (a
+        // module revision dropped its session cookie).
+        let mk = |slot: &str| {
+            RequestBuilder::get("/ad")
+                .query("imei", "355195000000017")
+                .query("slot", slot)
+                .cookie("sid=abcdef12345678")
+                .destination(Ipv4Addr::new(203, 0, 113, 9), 80, "ad-maker.info")
+                .build()
+        };
+        let (a, b) = (mk("1"), mk("2"));
+        let sig = signature_from_cluster(5, &[&a, &b], &SignatureConfig::default()).unwrap();
+        assert!(sig.tokens.len() >= 2, "need a multi-token signature");
+        let set = SignatureSet {
+            signatures: vec![sig],
+        };
+        // Same module, cookie dropped: the rline tokens still match.
+        let revised = RequestBuilder::get("/ad")
+            .query("imei", "355195000000017")
+            .query("slot", "4")
+            .destination(Ipv4Addr::new(203, 0, 113, 9), 80, "ad-maker.info")
+            .build();
+        let strict = Detector::new(set.clone());
+        let lenient = Detector::with_mode(set.clone(), MatchMode::Fraction(0.5));
+        let exact = Detector::with_mode(set, MatchMode::Fraction(1.0));
+        assert_eq!(
+            strict.match_packet(&revised).is_some(),
+            exact.match_packet(&revised).is_some()
+        );
+        assert!(
+            lenient.match_packet(&revised).is_some(),
+            "fractional match should fire"
+        );
+        // An unrelated packet stays unmatched even leniently.
+        let unrelated = RequestBuilder::get("/api/list")
+            .query("page", "2")
+            .destination(Ipv4Addr::new(198, 51, 100, 7), 80, "api.example.jp")
+            .build();
+        assert!(lenient.match_packet(&unrelated).is_none());
+    }
+
+    #[test]
+    fn ordered_mode_plugs_into_detector() {
+        let sig = sig_for("nend.net", "aid", "f3a9c1d200b14e77", 2);
+        let set = SignatureSet {
+            signatures: vec![sig],
+        };
+        let det = Detector::with_mode(set, MatchMode::Ordered);
+        let probe = RequestBuilder::get("/ad")
+            .query("aid", "f3a9c1d200b14e77")
+            .query("slot", "5")
+            .destination(Ipv4Addr::new(203, 0, 113, 9), 80, "nend.net")
+            .build();
+        assert!(det.match_packet(&probe).is_some());
+    }
+
+    #[test]
+    fn fraction_one_equals_conjunction() {
+        let sig = sig_for("nend.net", "aid", "f3a9c1d200b14e77", 9);
+        let set = SignatureSet {
+            signatures: vec![sig],
+        };
+        let conj = Detector::new(set.clone());
+        let frac = Detector::with_mode(set, MatchMode::Fraction(1.0));
+        let probe = RequestBuilder::get("/ad")
+            .query("aid", "f3a9c1d200b14e77")
+            .query("slot", "2")
+            .destination(Ipv4Addr::new(203, 0, 113, 9), 80, "nend.net")
+            .build();
+        assert_eq!(conj.match_packet(&probe), frac.match_packet(&probe));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction threshold")]
+    fn zero_fraction_rejected() {
+        let _ = Detector::with_mode(SignatureSet::default(), MatchMode::Fraction(0.0));
+    }
+
+    #[test]
+    fn explanations_carry_evidence() {
+        let s = sig_for("ad-maker.info", "imei", "355195000000017", 3);
+        let det = Detector::new(SignatureSet {
+            signatures: vec![s],
+        });
+        let hit = RequestBuilder::get("/ad")
+            .query("imei", "355195000000017")
+            .query("slot", "1")
+            .destination(Ipv4Addr::new(203, 0, 113, 9), 80, "ad-maker.info")
+            .build();
+        let ex = det.explain(&hit).expect("explained");
+        assert_eq!(ex.signature_id, 3);
+        assert_eq!(ex.hosts, vec!["ad-maker.info".to_string()]);
+        assert!(ex
+            .matched_tokens
+            .iter()
+            .any(|t| t.contains("355195000000017")));
+        let miss = RequestBuilder::get("/other")
+            .destination(Ipv4Addr::LOCALHOST, 80, "x.jp")
+            .build();
+        assert!(det.explain(&miss).is_none());
+    }
+
+    #[test]
+    fn empty_detector_matches_nothing() {
+        let det = Detector::new(SignatureSet::default());
+        let p = RequestBuilder::get("/")
+            .destination(Ipv4Addr::LOCALHOST, 80, "x")
+            .build();
+        assert_eq!(det.match_packet(&p), None);
+    }
+}

@@ -1,0 +1,219 @@
+//! Detection-rate evaluation using the paper's exact formulas (§V-B).
+//!
+//! With `N` sensitive packets sampled for signature generation:
+//!
+//! ```text
+//! TP = (detected sensitive − N) / (sensitive − N)
+//! FN =  undetected sensitive    / (sensitive − N)
+//! FP =  detected non-sensitive  / (non-sensitive − N)
+//! ```
+//!
+//! Notes for reproducers: the paper subtracts `N` from the *detected*
+//! numerator and the sensitive denominator — the sampled packets trivially
+//! match their own signatures, so they are excluded from credit. The FP
+//! denominator's `− N` is as printed (even though the sample was drawn
+//! from the sensitive group); with 84k normal packets the difference is
+//! immaterial, and we follow the paper.
+
+/// Raw confusion counts from a detection run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counts {
+    /// Total packets containing sensitive information.
+    pub sensitive_total: usize,
+    /// Total packets without sensitive information.
+    pub normal_total: usize,
+    /// Sample size used for signature generation.
+    pub sample_n: usize,
+    /// Sensitive packets flagged by the detector (including the sample).
+    pub detected_sensitive: usize,
+    /// Non-sensitive packets flagged by the detector.
+    pub detected_normal: usize,
+}
+
+/// The paper's three rates, as fractions in `[0, 1]` (the paper reports
+/// percentages).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rates {
+    /// TP per §V-B.
+    pub true_positive: f64,
+    /// FN per §V-B.
+    pub false_negative: f64,
+    /// FP per §V-B.
+    pub false_positive: f64,
+}
+
+impl Counts {
+    /// Apply the §V-B formulas. Degenerate denominators (e.g. `N` equal to
+    /// the sensitive total) yield rates of 0.
+    pub fn rates(&self) -> Rates {
+        let sens_denom = self.sensitive_total.saturating_sub(self.sample_n);
+        let norm_denom = self.normal_total.saturating_sub(self.sample_n);
+        let undetected = self.sensitive_total - self.detected_sensitive;
+        let ratio = |num: usize, den: usize| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        Rates {
+            true_positive: ratio(
+                self.detected_sensitive.saturating_sub(self.sample_n),
+                sens_denom,
+            ),
+            false_negative: ratio(undetected, sens_denom),
+            false_positive: ratio(self.detected_normal, norm_denom),
+        }
+    }
+
+    /// Conventional precision over the full dataset (extra metric, not in
+    /// the paper).
+    pub fn precision(&self) -> f64 {
+        let flagged = self.detected_sensitive + self.detected_normal;
+        if flagged == 0 {
+            0.0
+        } else {
+            self.detected_sensitive as f64 / flagged as f64
+        }
+    }
+
+    /// Conventional recall over the full dataset.
+    pub fn recall(&self) -> f64 {
+        if self.sensitive_total == 0 {
+            0.0
+        } else {
+            self.detected_sensitive as f64 / self.sensitive_total as f64
+        }
+    }
+
+    /// F1 over the full dataset.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Build [`Counts`] from parallel label/detection masks.
+///
+/// `sensitive[i]` is ground truth, `detected[i]` the detector verdict,
+/// and `sampled[i]` marks the `N` packets used for generation.
+pub fn tally(sensitive: &[bool], detected: &[bool], sampled: &[bool]) -> Counts {
+    assert_eq!(sensitive.len(), detected.len());
+    assert_eq!(sensitive.len(), sampled.len());
+    let mut c = Counts {
+        sensitive_total: 0,
+        normal_total: 0,
+        sample_n: 0,
+        detected_sensitive: 0,
+        detected_normal: 0,
+    };
+    for i in 0..sensitive.len() {
+        if sampled[i] {
+            c.sample_n += 1;
+        }
+        if sensitive[i] {
+            c.sensitive_total += 1;
+            if detected[i] {
+                c.detected_sensitive += 1;
+            }
+        } else {
+            c.normal_total += 1;
+            if detected[i] {
+                c.detected_normal += 1;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_formulas() {
+        // A run shaped like the paper's N = 500 row: 94% TP, 5% FN.
+        let c = Counts {
+            sensitive_total: 23_309,
+            normal_total: 84_550,
+            sample_n: 500,
+            detected_sensitive: 500 + 21_440, // sample + 94% of the rest
+            detected_normal: 1_933,           // 2.3% of 84,050
+        };
+        let r = c.rates();
+        assert!((r.true_positive - 21_440.0 / 22_809.0).abs() < 1e-12);
+        assert!((r.false_negative - 1_369.0 / 22_809.0).abs() < 1e-12);
+        assert!((r.false_positive - 1_933.0 / 84_050.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let c = Counts {
+            sensitive_total: 100,
+            normal_total: 900,
+            sample_n: 10,
+            detected_sensitive: 100,
+            detected_normal: 0,
+        };
+        let r = c.rates();
+        assert_eq!(r.true_positive, 1.0);
+        assert_eq!(r.false_negative, 0.0);
+        assert_eq!(r.false_positive, 0.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_denominators_dont_panic() {
+        let c = Counts {
+            sensitive_total: 10,
+            normal_total: 0,
+            sample_n: 10,
+            detected_sensitive: 10,
+            detected_normal: 0,
+        };
+        let r = c.rates();
+        assert_eq!(r.true_positive, 0.0);
+        assert_eq!(r.false_positive, 0.0);
+        let empty = Counts {
+            sensitive_total: 0,
+            normal_total: 0,
+            sample_n: 0,
+            detected_sensitive: 0,
+            detected_normal: 0,
+        };
+        assert_eq!(empty.rates().true_positive, 0.0);
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.recall(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+    }
+
+    #[test]
+    fn tally_counts_correctly() {
+        let sensitive = [true, true, true, false, false];
+        let detected = [true, false, true, true, false];
+        let sampled = [true, false, false, false, false];
+        let c = tally(&sensitive, &detected, &sampled);
+        assert_eq!(c.sensitive_total, 3);
+        assert_eq!(c.normal_total, 2);
+        assert_eq!(c.sample_n, 1);
+        assert_eq!(c.detected_sensitive, 2);
+        assert_eq!(c.detected_normal, 1);
+        let r = c.rates();
+        // TP = (2 - 1) / (3 - 1) = 0.5; FN = 1/2; FP = 1/(2-1) = 1.
+        assert_eq!(r.true_positive, 0.5);
+        assert_eq!(r.false_negative, 0.5);
+        assert_eq!(r.false_positive, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tally_rejects_mismatched_lengths() {
+        let _ = tally(&[true], &[true, false], &[false]);
+    }
+}

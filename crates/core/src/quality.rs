@@ -1,0 +1,121 @@
+//! Clustering quality metrics.
+//!
+//! The paper evaluates only end-to-end detection rates, but tuning the
+//! §IV distance requires seeing the intermediate object: how well do the
+//! clusters line up with ground truth (which module/leak a packet came
+//! from)? Two standard external metrics:
+//!
+//! * [`purity`] — the fraction of points whose cluster's majority label
+//!   matches their own. Insensitive to splitting (many pure shards score
+//!   1.0), so read it together with the cluster count.
+//! * [`rand_index`] — pairwise agreement between the clustering and the
+//!   labels; penalises both merging across labels and splitting within
+//!   them.
+
+use std::collections::HashMap;
+
+/// Purity of `clusters` against `labels` (one label per point index).
+/// Returns a value in `[0, 1]`; empty input scores 1.0.
+pub fn purity<L: Eq + std::hash::Hash>(clusters: &[Vec<usize>], labels: &[L]) -> f64 {
+    let total: usize = clusters.iter().map(|c| c.len()).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mut majority_sum = 0usize;
+    for cluster in clusters {
+        let mut counts: HashMap<&L, usize> = HashMap::new();
+        for &i in cluster {
+            *counts.entry(&labels[i]).or_default() += 1;
+        }
+        majority_sum += counts.values().copied().max().unwrap_or(0);
+    }
+    majority_sum as f64 / total as f64
+}
+
+/// Rand index of `clusters` against `labels`: the fraction of point pairs
+/// on which the clustering and the labelling agree (same-cluster ∧
+/// same-label, or different-cluster ∧ different-label). `[0, 1]`; fewer
+/// than two points scores 1.0.
+pub fn rand_index<L: Eq + std::hash::Hash>(clusters: &[Vec<usize>], labels: &[L]) -> f64 {
+    // Map each point to its cluster id.
+    let total: usize = clusters.iter().map(|c| c.len()).sum();
+    if total < 2 {
+        return 1.0;
+    }
+    let mut cluster_of: HashMap<usize, usize> = HashMap::new();
+    for (cid, cluster) in clusters.iter().enumerate() {
+        for &i in cluster {
+            cluster_of.insert(i, cid);
+        }
+    }
+    let points: Vec<usize> = {
+        let mut v: Vec<usize> = cluster_of.keys().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    let mut agree = 0u64;
+    let mut pairs = 0u64;
+    for (a_pos, &a) in points.iter().enumerate() {
+        for &b in &points[a_pos + 1..] {
+            let same_cluster = cluster_of[&a] == cluster_of[&b];
+            let same_label = labels[a] == labels[b];
+            if same_cluster == same_label {
+                agree += 1;
+            }
+            pairs += 1;
+        }
+    }
+    agree as f64 / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let clusters = vec![vec![0, 1, 2], vec![3, 4]];
+        let labels = ["a", "a", "a", "b", "b"];
+        assert_eq!(purity(&clusters, &labels), 1.0);
+        assert_eq!(rand_index(&clusters, &labels), 1.0);
+    }
+
+    #[test]
+    fn one_big_cluster_has_majority_purity() {
+        let clusters = vec![vec![0, 1, 2, 3, 4]];
+        let labels = ["a", "a", "a", "b", "b"];
+        assert_eq!(purity(&clusters, &labels), 0.6);
+        // Rand: agreeing pairs are the same-label ones (3C2 + 2C2 = 4) of 10.
+        assert_eq!(rand_index(&clusters, &labels), 0.4);
+    }
+
+    #[test]
+    fn singletons_have_perfect_purity_but_poor_rand() {
+        let clusters = vec![vec![0], vec![1], vec![2], vec![3]];
+        let labels = ["a", "a", "b", "b"];
+        assert_eq!(purity(&clusters, &labels), 1.0);
+        // Agreeing pairs: the cross-label ones (4) of 6.
+        assert!((rand_index(&clusters, &labels) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<Vec<usize>> = Vec::new();
+        let labels: [&str; 0] = [];
+        assert_eq!(purity(&empty, &labels), 1.0);
+        assert_eq!(rand_index(&empty, &labels), 1.0);
+        let single = vec![vec![0]];
+        assert_eq!(purity(&single, &["x"]), 1.0);
+        assert_eq!(rand_index(&single, &["x"]), 1.0);
+    }
+
+    #[test]
+    fn mixed_clusters_are_penalised() {
+        // Two clusters, each half-and-half: worst-case purity 0.5.
+        let clusters = vec![vec![0, 2], vec![1, 3]];
+        let labels = ["a", "a", "b", "b"];
+        assert_eq!(purity(&clusters, &labels), 0.5);
+        let ri = rand_index(&clusters, &labels);
+        assert!(ri < 0.5, "rand {ri}");
+    }
+}

@@ -1,0 +1,259 @@
+//! Signature exchange format.
+//!
+//! The paper's architecture (Fig. 3) has the server ship generated
+//! signatures to devices. This is the wire format: a line-oriented,
+//! versioned text encoding with tokens hex-encoded so arbitrary byte
+//! content survives transport and remains human-auditable.
+//!
+//! ```text
+//! LEAKSIG/1
+//! sig 0 17
+//! host ad-maker.info
+//! tok rline 616e64726f696469643d
+//! end
+//! ```
+
+use crate::signature::{ConjunctionSignature, Field, FieldToken, SignatureSet};
+use leaksig_hash::{decode_hex, encode_hex};
+
+/// Magic first line.
+const MAGIC: &str = "LEAKSIG/1";
+
+/// Wire-format decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// First line was not the expected magic.
+    BadMagic,
+    /// A line (1-based) could not be parsed.
+    BadLine(usize, String),
+    /// A `sig` block was missing its `end`.
+    UnterminatedSignature,
+    /// A signature had no tokens.
+    EmptySignature(u32),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "missing {MAGIC} header"),
+            WireError::BadLine(n, l) => write!(f, "unparsable line {n}: {l:?}"),
+            WireError::UnterminatedSignature => write!(f, "sig block missing `end`"),
+            WireError::EmptySignature(id) => write!(f, "signature {id} has no tokens"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serialize a signature set.
+pub fn encode(set: &SignatureSet) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    for sig in &set.signatures {
+        out.push_str(&format!("sig {} {}\n", sig.id, sig.cluster_size));
+        for host in &sig.hosts {
+            out.push_str(&format!("host {host}\n"));
+        }
+        for tok in &sig.tokens {
+            out.push_str(&format!(
+                "tok {} {} {}\n",
+                tok.field.tag(),
+                encode_hex(tok.bytes()),
+                tok.order_hint()
+            ));
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Parse a signature set.
+pub fn decode(text: &str) -> Result<SignatureSet, WireError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == MAGIC => {}
+        _ => return Err(WireError::BadMagic),
+    }
+
+    let mut signatures = Vec::new();
+    let mut current: Option<ConjunctionSignature> = None;
+    for (i, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let bad = || WireError::BadLine(lineno, line.to_string());
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("sig") => {
+                if current.is_some() {
+                    return Err(WireError::UnterminatedSignature);
+                }
+                let id: u32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+                let cluster_size: usize =
+                    parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+                current = Some(ConjunctionSignature {
+                    id,
+                    tokens: Vec::new(),
+                    cluster_size,
+                    hosts: Vec::new(),
+                });
+            }
+            Some("host") => {
+                let host = parts.next().ok_or_else(bad)?;
+                current
+                    .as_mut()
+                    .ok_or_else(bad)?
+                    .hosts
+                    .push(host.to_string());
+            }
+            Some("tok") => {
+                let field = parts.next().and_then(Field::from_tag).ok_or_else(bad)?;
+                let hex = parts.next().ok_or_else(bad)?;
+                let bytes = decode_hex(hex).map_err(|_| bad())?;
+                if bytes.is_empty() {
+                    return Err(bad());
+                }
+                // Optional third column: emission-order hint (older
+                // producers omit it).
+                let hint: u32 = match parts.next() {
+                    Some(raw) => raw.parse().map_err(|_| bad())?,
+                    None => 0,
+                };
+                current
+                    .as_mut()
+                    .ok_or_else(bad)?
+                    .tokens
+                    .push(FieldToken::with_hint(field, bytes, hint));
+            }
+            Some("end") => {
+                let sig = current.take().ok_or_else(bad)?;
+                if sig.tokens.is_empty() {
+                    return Err(WireError::EmptySignature(sig.id));
+                }
+                signatures.push(sig);
+            }
+            _ => return Err(bad()),
+        }
+    }
+    if current.is_some() {
+        return Err(WireError::UnterminatedSignature);
+    }
+    Ok(SignatureSet { signatures })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::{signature_from_cluster, SignatureConfig};
+    use leaksig_http::RequestBuilder;
+    use std::net::Ipv4Addr;
+
+    fn sample_set() -> SignatureSet {
+        let a = RequestBuilder::get("/getad")
+            .query("androidid", "f3a9c1d200b14e77")
+            .cookie("sid=12345678")
+            .destination(Ipv4Addr::new(203, 0, 113, 4), 80, "ad-maker.info")
+            .build();
+        let b = RequestBuilder::get("/getad")
+            .query("androidid", "f3a9c1d200b14e77")
+            .cookie("sid=12345678")
+            .destination(Ipv4Addr::new(203, 0, 113, 4), 80, "ad-maker.info")
+            .build();
+        let sig = signature_from_cluster(7, &[&a, &b], &SignatureConfig::default()).unwrap();
+        SignatureSet {
+            signatures: vec![sig],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let set = sample_set();
+        let text = encode(&set);
+        assert!(text.starts_with("LEAKSIG/1\n"));
+        let back = decode(&text).unwrap();
+        assert_eq!(back.len(), set.len());
+        let (orig, dec) = (&set.signatures[0], &back.signatures[0]);
+        assert_eq!(dec.id, orig.id);
+        assert_eq!(dec.cluster_size, orig.cluster_size);
+        assert_eq!(dec.hosts, orig.hosts);
+        assert_eq!(dec.tokens.len(), orig.tokens.len());
+        for (a, b) in dec.tokens.iter().zip(&orig.tokens) {
+            assert_eq!(a.field, b.field);
+            assert_eq!(a.bytes(), b.bytes());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(decode(""), Err(WireError::BadMagic)));
+        assert!(matches!(decode("NOPE/9\n"), Err(WireError::BadMagic)));
+        assert!(matches!(
+            decode("LEAKSIG/1\nwat 1 2\n"),
+            Err(WireError::BadLine(2, _))
+        ));
+        assert!(matches!(
+            decode("LEAKSIG/1\nsig 0 1\ntok rline 6162\n"),
+            Err(WireError::UnterminatedSignature)
+        ));
+        assert!(matches!(
+            decode("LEAKSIG/1\nsig 0 1\nend\n"),
+            Err(WireError::EmptySignature(0))
+        ));
+        assert!(matches!(
+            decode("LEAKSIG/1\nsig 0 1\ntok nope 6162\nend\n"),
+            Err(WireError::BadLine(3, _))
+        ));
+        assert!(matches!(
+            decode("LEAKSIG/1\nsig 0 1\ntok rline zz\nend\n"),
+            Err(WireError::BadLine(3, _))
+        ));
+        // Token outside a sig block.
+        assert!(matches!(
+            decode("LEAKSIG/1\ntok rline 6162\n"),
+            Err(WireError::BadLine(2, _))
+        ));
+    }
+
+    #[test]
+    fn order_hints_survive_the_wire() {
+        let set = sample_set();
+        let back = decode(&encode(&set)).unwrap();
+        for (a, b) in back.signatures[0]
+            .tokens
+            .iter()
+            .zip(&set.signatures[0].tokens)
+        {
+            assert_eq!(a.order_hint(), b.order_hint());
+        }
+    }
+
+    #[test]
+    fn hintless_tok_lines_still_decode() {
+        // Older producers emit `tok <field> <hex>` without the hint.
+        let text = "LEAKSIG/1\nsig 0 2\ntok rline 616263646566676869\nend\n";
+        let set = decode(text).unwrap();
+        assert_eq!(set.signatures[0].tokens[0].order_hint(), 0);
+        assert_eq!(set.signatures[0].tokens[0].bytes(), b"abcdefghi");
+    }
+
+    #[test]
+    fn decoded_signatures_still_match() {
+        let set = sample_set();
+        let back = decode(&encode(&set)).unwrap();
+        let probe = RequestBuilder::get("/getad")
+            .query("androidid", "f3a9c1d200b14e77")
+            .cookie("sid=12345678")
+            .destination(Ipv4Addr::new(203, 0, 113, 4), 80, "ad-maker.info")
+            .build();
+        assert!(back.signatures[0].matches(&probe));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WireError::BadMagic.to_string().contains("LEAKSIG/1"));
+        assert!(WireError::EmptySignature(3).to_string().contains('3'));
+    }
+}

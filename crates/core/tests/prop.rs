@@ -1,0 +1,139 @@
+//! Property tests for core invariants.
+
+use leaksig_core::prelude::*;
+use leaksig_http::RequestBuilder;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_packet() -> impl Strategy<Value = leaksig_http::HttpPacket> {
+    (
+        "[a-z0-9.-]{1,24}",
+        any::<u32>(),
+        1u16..,
+        "[a-z/]{1,12}",
+        proptest::collection::vec(("[a-z]{1,8}", "[a-zA-Z0-9]{0,16}"), 0..6),
+        proptest::option::of("[a-z0-9=;]{1,24}"),
+    )
+        .prop_map(|(host, ip, port, path, qs, cookie)| {
+            let mut b = RequestBuilder::get(&format!("/{path}"));
+            for (k, v) in &qs {
+                b = b.query(k, v);
+            }
+            if let Some(c) = &cookie {
+                b = b.cookie(c);
+            }
+            b.destination(Ipv4Addr::from(ip), port, &host).build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Packet distance under the corrected convention is a bounded,
+    /// symmetric-ish, near-zero-on-identity quantity.
+    #[test]
+    fn corrected_distance_properties(a in arb_packet(), b in arb_packet()) {
+        let d: PacketDistance = PacketDistance::default();
+        let (fa, fb) = (d.features(&a), d.features(&b));
+        let dab = d.packet(&fa, &fb);
+        prop_assert!(dab >= 0.0);
+        prop_assert!(dab <= 6.5, "d = {}", dab); // 3 dst + 3 content + NCD slack
+        let dba = d.packet(&fb, &fa);
+        prop_assert!((dab - dba).abs() < 0.35, "asymmetry {} vs {}", dab, dba);
+        let self_dist = d.packet(&fa, &fa);
+        prop_assert!(self_dist < 1.0, "self distance {}", self_dist);
+    }
+
+    /// Dendrogram cuts always produce a partition of the leaves.
+    #[test]
+    fn cuts_partition(packets in proptest::collection::vec(arb_packet(), 2..16),
+                      threshold in 0.0f64..6.0) {
+        let d: PacketDistance = PacketDistance::default();
+        let feats: Vec<_> = packets.iter().map(|p| d.features(p)).collect();
+        let dg = agglomerate(&pairwise(&d, &feats));
+        let clusters = dg.cut(threshold);
+        let mut all: Vec<usize> = clusters.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..packets.len()).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// Every cluster member matches the signature generated from its own
+    /// cluster (conjunction soundness).
+    #[test]
+    fn members_match_own_signature(seed_pkt in arb_packet(), copies in 2usize..6) {
+        // A cluster of near-duplicates (volatile param varies).
+        let packets: Vec<_> = (0..copies)
+            .map(|i| {
+                let mut b = RequestBuilder::get(seed_pkt.request_line.path());
+                if let Some(q) = seed_pkt.request_line.query() {
+                    b = b.query("orig", &q.replace('&', "_"));
+                }
+                b = b.query("i", &i.to_string());
+                b.destination(
+                    seed_pkt.destination.ip,
+                    seed_pkt.destination.port,
+                    &seed_pkt.destination.host,
+                )
+                .build()
+            })
+            .collect();
+        let refs: Vec<&leaksig_http::HttpPacket> = packets.iter().collect();
+        if let Some(sig) = signature_from_cluster(0, &refs, &SignatureConfig::default()) {
+            for p in &packets {
+                prop_assert!(sig.matches(p), "member fails own signature");
+            }
+        }
+    }
+
+    /// Wire encode/decode round-trips arbitrary generated signature sets.
+    #[test]
+    fn wire_round_trip(packets in proptest::collection::vec(arb_packet(), 2..10)) {
+        let refs: Vec<&leaksig_http::HttpPacket> = packets.iter().collect();
+        let set = generate_signatures(&refs, &PipelineConfig::default());
+        let text = encode(&set);
+        let back = decode(&text).unwrap();
+        prop_assert_eq!(back.len(), set.len());
+        for (x, y) in back.signatures.iter().zip(&set.signatures) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.tokens.len(), y.tokens.len());
+            for (tx, ty) in x.tokens.iter().zip(&y.tokens) {
+                prop_assert_eq!(tx.field, ty.field);
+                prop_assert_eq!(tx.bytes(), ty.bytes());
+            }
+        }
+    }
+
+    /// Needle matching agrees with a std oracle on arbitrary inputs.
+    #[test]
+    fn needle_oracle(hay in proptest::collection::vec(any::<u8>(), 0..200),
+                     pat in proptest::collection::vec(any::<u8>(), 1..12)) {
+        let needle = Needle::new(pat.clone());
+        let oracle = hay.windows(pat.len()).any(|w| w == &pat[..]);
+        prop_assert_eq!(needle.is_in(&hay), oracle);
+    }
+
+    /// Rates are bounded for arbitrary consistent counts.
+    #[test]
+    fn rates_bounded(sens in 1usize..500, norm in 0usize..500,
+                     n_frac in 0.0f64..1.0, det_s_frac in 0.0f64..1.0,
+                     det_n_frac in 0.0f64..1.0) {
+        let sample_n = (sens as f64 * n_frac) as usize;
+        let detected_sensitive = sample_n
+            + ((sens - sample_n) as f64 * det_s_frac) as usize;
+        let detected_normal = (norm as f64 * det_n_frac) as usize;
+        let c = Counts {
+            sensitive_total: sens,
+            normal_total: norm,
+            sample_n,
+            detected_sensitive,
+            detected_normal,
+        };
+        let r = c.rates();
+        prop_assert!(r.true_positive >= 0.0 && r.true_positive <= 1.0);
+        prop_assert!(r.false_negative >= 0.0 && r.false_negative <= 1.0);
+        prop_assert!(r.false_positive >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&c.precision()));
+        prop_assert!((0.0..=1.0).contains(&c.recall()));
+    }
+}

@@ -1,0 +1,379 @@
+//! The packet gate: every outgoing request passes through here.
+//!
+//! `intercept` runs the installed signatures over the packet, consults the
+//! policy engine, and either forwards, blocks, or parks the packet behind
+//! a prompt. Every decision is appended to an audit log so the user can
+//! review what their apps have been transmitting — the visibility the
+//! paper argues Android itself does not provide.
+
+use crate::policy::{PolicyEngine, UserChoice, Verdict};
+use crate::store::SignatureStore;
+use leaksig_http::HttpPacket;
+use parking_lot::Mutex;
+
+/// Outcome of one interception.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateAction {
+    /// Sent to the network.
+    Forwarded,
+    /// Dropped per remembered policy.
+    Blocked {
+        /// Signature that fired.
+        signature_id: u32,
+    },
+    /// Parked; the prompt id resolves it via [`PacketGate::answer`].
+    PendingPrompt {
+        /// Handle for answering the prompt.
+        prompt_id: u64,
+        /// Signature that fired.
+        signature_id: u32,
+    },
+}
+
+/// One audit-log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Monotone record sequence number.
+    pub seq: u64,
+    /// Package id of the sending app.
+    pub app: String,
+    /// Destination host (FQDN).
+    pub host: String,
+    /// Id of the matching signature.
+    pub signature_id: Option<u32>,
+    /// What the gate did (text tag).
+    pub action: String,
+}
+
+/// A parked packet awaiting a user decision.
+#[derive(Debug)]
+struct Pending {
+    prompt_id: u64,
+    app: String,
+    signature_id: u32,
+    packet: HttpPacket,
+}
+
+/// Counters summarising gate activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateStats {
+    /// Packets sent onward.
+    pub forwarded: u64,
+    /// Packets dropped.
+    pub blocked: u64,
+    /// Prompts raised.
+    pub prompted: u64,
+}
+
+/// The information-flow-control gate.
+pub struct PacketGate<'a> {
+    store: &'a SignatureStore,
+    state: Mutex<GateState>,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    policy: PolicyEngine,
+    pending: Vec<Pending>,
+    audit: Vec<AuditRecord>,
+    next_prompt: u64,
+    next_seq: u64,
+    stats: GateStats,
+}
+
+impl<'a> PacketGate<'a> {
+    /// Gate backed by the given signature store.
+    pub fn new(store: &'a SignatureStore) -> Self {
+        PacketGate {
+            store,
+            state: Mutex::new(GateState::default()),
+        }
+    }
+
+    fn log(state: &mut GateState, app: &str, host: &str, sig: Option<u32>, action: &str) {
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.audit.push(AuditRecord {
+            seq,
+            app: app.to_string(),
+            host: host.to_string(),
+            signature_id: sig,
+            action: action.to_string(),
+        });
+    }
+
+    /// Intercept an outgoing packet from `app`.
+    pub fn intercept(&self, app: &str, packet: &HttpPacket) -> GateAction {
+        let matched = self.store.match_packet(packet).map(|d| d.signature_id);
+        let mut state = self.state.lock();
+        match state.policy.decide(app, matched) {
+            Verdict::Forward => {
+                state.stats.forwarded += 1;
+                Self::log(
+                    &mut state,
+                    app,
+                    &packet.destination.host,
+                    matched,
+                    "forward",
+                );
+                GateAction::Forwarded
+            }
+            Verdict::Block => {
+                let sig = matched.expect("block implies a match");
+                state.stats.blocked += 1;
+                Self::log(&mut state, app, &packet.destination.host, matched, "block");
+                GateAction::Blocked { signature_id: sig }
+            }
+            Verdict::Prompt => {
+                let sig = matched.expect("prompt implies a match");
+                let prompt_id = state.next_prompt;
+                state.next_prompt += 1;
+                state.stats.prompted += 1;
+                state.pending.push(Pending {
+                    prompt_id,
+                    app: app.to_string(),
+                    signature_id: sig,
+                    packet: packet.clone(),
+                });
+                Self::log(&mut state, app, &packet.destination.host, matched, "prompt");
+                GateAction::PendingPrompt {
+                    prompt_id,
+                    signature_id: sig,
+                }
+            }
+        }
+    }
+
+    /// Answer a pending prompt. Returns the parked packet when the choice
+    /// forwards it, `Ok(None)` when it is dropped, `Err(())` for an
+    /// unknown prompt id.
+    #[allow(clippy::result_unit_err)]
+    pub fn answer(&self, prompt_id: u64, choice: UserChoice) -> Result<Option<HttpPacket>, ()> {
+        let mut state = self.state.lock();
+        let idx = state
+            .pending
+            .iter()
+            .position(|p| p.prompt_id == prompt_id)
+            .ok_or(())?;
+        let pending = state.pending.swap_remove(idx);
+        let forward = state
+            .policy
+            .resolve(&pending.app, pending.signature_id, choice);
+        let action = if forward {
+            state.stats.forwarded += 1;
+            "prompt-allow"
+        } else {
+            state.stats.blocked += 1;
+            "prompt-block"
+        };
+        Self::log(
+            &mut state,
+            &pending.app,
+            &pending.packet.destination.host,
+            Some(pending.signature_id),
+            action,
+        );
+        Ok(forward.then_some(pending.packet))
+    }
+
+    /// Prompts currently awaiting an answer.
+    pub fn pending_prompts(&self) -> Vec<(u64, String, u32)> {
+        self.state
+            .lock()
+            .pending
+            .iter()
+            .map(|p| (p.prompt_id, p.app.clone(), p.signature_id))
+            .collect()
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> GateStats {
+        self.state.lock().stats
+    }
+
+    /// Copy of the audit log.
+    pub fn audit_log(&self) -> Vec<AuditRecord> {
+        self.state.lock().audit.clone()
+    }
+
+    /// Snapshot the remembered policy (see [`crate::persist`]).
+    pub fn export_policy(&self) -> String {
+        crate::persist::encode_policy(&self.state.lock().policy)
+    }
+
+    /// Replace the policy with a restored snapshot. Pending prompts keep
+    /// their ids; a pending flow whose decision was restored resolves on
+    /// its next interception, not retroactively.
+    pub fn import_policy(&self, text: &str) -> Result<(), crate::persist::PersistError> {
+        let policy = crate::persist::decode_policy(text)?;
+        self.state.lock().policy = policy;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::SignatureServer;
+    use leaksig_core::prelude::*;
+    use leaksig_http::RequestBuilder;
+    use std::net::Ipv4Addr;
+
+    fn leak(slot: &str) -> HttpPacket {
+        RequestBuilder::get("/getad")
+            .query("imei", "355195000000017")
+            .query("slot", slot)
+            .destination(Ipv4Addr::new(203, 0, 113, 3), 80, "ad-maker.info")
+            .build()
+    }
+
+    fn clean() -> HttpPacket {
+        RequestBuilder::get("/img/cat.png")
+            .destination(Ipv4Addr::new(198, 51, 100, 8), 80, "cdn.example.jp")
+            .build()
+    }
+
+    fn armed_store() -> SignatureStore {
+        let server = SignatureServer::new();
+        let (a, b) = (leak("1"), leak("2"));
+        server.publish(&generate_signatures(&[&a, &b], &{
+            let mut cfg = PipelineConfig::default();
+            cfg.signature.include_singletons = false;
+            cfg
+        }));
+        let store = SignatureStore::new();
+        store.sync(&server).unwrap();
+        store
+    }
+
+    #[test]
+    fn clean_traffic_flows_through() {
+        let store = armed_store();
+        let gate = PacketGate::new(&store);
+        assert_eq!(
+            gate.intercept("jp.co.x.game", &clean()),
+            GateAction::Forwarded
+        );
+        assert_eq!(gate.stats().forwarded, 1);
+        assert_eq!(gate.audit_log().len(), 1);
+    }
+
+    #[test]
+    fn leak_prompts_then_remembers_block() {
+        let store = armed_store();
+        let gate = PacketGate::new(&store);
+        let action = gate.intercept("jp.co.x.game", &leak("9"));
+        let GateAction::PendingPrompt {
+            prompt_id,
+            signature_id,
+        } = action
+        else {
+            panic!("expected prompt, got {action:?}");
+        };
+        assert_eq!(gate.pending_prompts().len(), 1);
+
+        // User blocks always: parked packet is dropped...
+        assert_eq!(gate.answer(prompt_id, UserChoice::BlockAlways), Ok(None));
+        assert!(gate.pending_prompts().is_empty());
+        // ...and the next hit blocks without a prompt.
+        assert_eq!(
+            gate.intercept("jp.co.x.game", &leak("10")),
+            GateAction::Blocked { signature_id }
+        );
+        let stats = gate.stats();
+        assert_eq!(stats.prompted, 1);
+        assert_eq!(stats.blocked, 2);
+    }
+
+    #[test]
+    fn allow_always_releases_and_remembers() {
+        let store = armed_store();
+        let gate = PacketGate::new(&store);
+        let GateAction::PendingPrompt { prompt_id, .. } = gate.intercept("app.x", &leak("3"))
+        else {
+            panic!("expected prompt");
+        };
+        let released = gate.answer(prompt_id, UserChoice::AllowAlways).unwrap();
+        assert_eq!(released.unwrap().destination.host, "ad-maker.info");
+        assert_eq!(gate.intercept("app.x", &leak("4")), GateAction::Forwarded);
+    }
+
+    #[test]
+    fn decisions_are_per_app() {
+        let store = armed_store();
+        let gate = PacketGate::new(&store);
+        let GateAction::PendingPrompt { prompt_id, .. } = gate.intercept("app.x", &leak("3"))
+        else {
+            panic!()
+        };
+        gate.answer(prompt_id, UserChoice::BlockAlways).unwrap();
+        // A different app still prompts.
+        assert!(matches!(
+            gate.intercept("app.y", &leak("3")),
+            GateAction::PendingPrompt { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_prompt_id_is_an_error() {
+        let store = armed_store();
+        let gate = PacketGate::new(&store);
+        assert_eq!(gate.answer(999, UserChoice::AllowOnce), Err(()));
+    }
+
+    #[test]
+    fn gate_is_thread_safe_under_concurrent_interception() {
+        let store = armed_store();
+        let gate = PacketGate::new(&store);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let gate = &gate;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let app = format!("app.t{t}");
+                        match gate.intercept(&app, &leak(&i.to_string())) {
+                            GateAction::PendingPrompt { prompt_id, .. } => {
+                                gate.answer(prompt_id, UserChoice::BlockAlways).unwrap();
+                            }
+                            GateAction::Blocked { .. } => {}
+                            GateAction::Forwarded => panic!("leak forwarded"),
+                        }
+                        assert_eq!(gate.intercept(&app, &clean()), GateAction::Forwarded);
+                    }
+                });
+            }
+        });
+        let stats = gate.stats();
+        assert_eq!(stats.forwarded, 200, "all clean traffic forwarded");
+        // Per app: one prompt (then prompt-block) and 49 remembered
+        // blocks — 4 prompts, 200 block outcomes in total.
+        assert_eq!(stats.prompted, 4, "one prompt per app");
+        assert_eq!(stats.blocked, 200, "every leak blocked");
+        // One remembered decision per app (4 apps); sequence numbers in
+        // the audit log are unique.
+        let log = gate.audit_log();
+        let mut seqs: Vec<u64> = log.iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), log.len());
+    }
+
+    #[test]
+    fn audit_log_records_the_story() {
+        let store = armed_store();
+        let gate = PacketGate::new(&store);
+        gate.intercept("app.x", &clean());
+        let GateAction::PendingPrompt { prompt_id, .. } = gate.intercept("app.x", &leak("1"))
+        else {
+            panic!()
+        };
+        gate.answer(prompt_id, UserChoice::AllowOnce).unwrap();
+        let log = gate.audit_log();
+        let actions: Vec<&str> = log.iter().map(|r| r.action.as_str()).collect();
+        assert_eq!(actions, vec!["forward", "prompt", "prompt-allow"]);
+        // Sequence numbers are strictly increasing.
+        for w in log.windows(2) {
+            assert!(w[1].seq > w[0].seq);
+        }
+    }
+}

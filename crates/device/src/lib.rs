@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! `leaksig-device` — the on-device information-flow-control application
+//! of Fig. 3b, simulated host-side.
+//!
+//! The paper's deployment story: a user installs one unprivileged app
+//! that (a) periodically fetches server-generated signatures and (b)
+//! inspects other applications' outgoing HTTP traffic, prompting the user
+//! when a signature matches, without any Android framework modification.
+//! This crate reproduces that component's logic:
+//!
+//! * [`SignatureServer`] / [`SignatureStore`] — versioned publish/fetch of
+//!   signature sets over the `leaksig-core` wire format;
+//! * [`PolicyEngine`] — per-`(app, signature)` decision cache
+//!   (allow/block/prompt semantics);
+//! * [`PacketGate`] — the interception point: match → decide → forward,
+//!   block, or park behind a prompt, with a full audit log.
+//!
+//! What is *not* simulated is the Android plumbing itself (a VPN-service
+//! or local-proxy capture loop); the gate takes packets as values, which
+//! is exactly what such a loop would hand it.
+
+mod gate;
+pub mod persist;
+mod policy;
+mod server;
+mod store;
+
+pub use gate::{AuditRecord, GateAction, GateStats, PacketGate};
+pub use persist::{decode_policy, decode_store, encode_policy, encode_store, PersistError};
+pub use policy::{FlowKey, PolicyEngine, UserChoice, Verdict};
+pub use server::{CollectionServer, ServerStats};
+pub use store::{SignatureServer, SignatureStore};

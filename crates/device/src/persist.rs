@@ -1,0 +1,175 @@
+//! Persistence of the device state across restarts.
+//!
+//! The on-device app must survive a reboot without re-prompting for every
+//! previously-decided flow and without re-fetching signatures. Two small
+//! text formats:
+//!
+//! ```text
+//! LEAKPOLICY/1
+//! allow jp.co.mobika.puzzle 3
+//! block com.zemi.news 7
+//! ```
+//!
+//! and the signature store snapshot, which is the `leaksig-core` wire
+//! format prefixed by a version line:
+//!
+//! ```text
+//! LEAKSTORE/1 5
+//! LEAKSIG/1
+//! ...
+//! ```
+
+use crate::policy::{PolicyEngine, UserChoice};
+use crate::store::SignatureStore;
+
+const POLICY_MAGIC: &str = "LEAKPOLICY/1";
+const STORE_MAGIC: &str = "LEAKSTORE/1";
+
+/// Persistence failure with a user-facing message.
+#[derive(Debug)]
+pub struct PersistError(pub String);
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Serialize remembered decisions. Only `*Always` choices persist; `Once`
+/// answers were never remembered to begin with.
+pub fn encode_policy(policy: &PolicyEngine) -> String {
+    let mut out = String::from(POLICY_MAGIC);
+    out.push('\n');
+    let mut rows = policy.remembered_rows();
+    rows.sort();
+    for (app, sig, allow) in rows {
+        out.push_str(if allow { "allow " } else { "block " });
+        out.push_str(&app);
+        out.push(' ');
+        out.push_str(&sig.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a policy snapshot into a fresh engine.
+pub fn decode_policy(text: &str) -> Result<PolicyEngine, PersistError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(POLICY_MAGIC) {
+        return Err(PersistError(format!("missing {POLICY_MAGIC} header")));
+    }
+    let mut policy = PolicyEngine::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split(' ');
+        let (verb, app, sig) = (parts.next(), parts.next(), parts.next());
+        let (Some(verb), Some(app), Some(sig), None) = (verb, app, sig, parts.next()) else {
+            return Err(PersistError(format!("malformed policy line: {line:?}")));
+        };
+        let sig: u32 = sig
+            .parse()
+            .map_err(|_| PersistError(format!("bad signature id in {line:?}")))?;
+        let choice = match verb {
+            "allow" => UserChoice::AllowAlways,
+            "block" => UserChoice::BlockAlways,
+            other => return Err(PersistError(format!("unknown verb {other:?}"))),
+        };
+        policy.resolve(app, sig, choice);
+    }
+    Ok(policy)
+}
+
+/// Snapshot a signature store (version + installed wire text).
+pub fn encode_store(store: &SignatureStore) -> String {
+    format!("{STORE_MAGIC} {}\n{}", store.version(), store.wire_text())
+}
+
+/// Restore a store snapshot.
+pub fn decode_store(text: &str) -> Result<SignatureStore, PersistError> {
+    let (header, body) = text
+        .split_once('\n')
+        .ok_or_else(|| PersistError("empty store snapshot".to_string()))?;
+    let version: u64 = header
+        .strip_prefix(STORE_MAGIC)
+        .and_then(|rest| rest.trim().parse().ok())
+        .ok_or_else(|| PersistError(format!("bad store header: {header:?}")))?;
+    let store = SignatureStore::new();
+    store
+        .install(version, body)
+        .map_err(|e| PersistError(format!("bad signature payload: {e}")))?;
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::SignatureServer;
+    use leaksig_core::prelude::*;
+    use leaksig_http::RequestBuilder;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn policy_round_trip() {
+        let mut p = PolicyEngine::new();
+        p.resolve("jp.co.a.game", 1, UserChoice::AllowAlways);
+        p.resolve("jp.co.a.game", 2, UserChoice::BlockAlways);
+        p.resolve("com.b.news", 1, UserChoice::BlockAlways);
+        p.resolve("com.c.memo", 9, UserChoice::AllowOnce); // not persisted
+
+        let text = encode_policy(&p);
+        let back = decode_policy(&text).unwrap();
+        assert_eq!(back.remembered_count(), 3);
+        use crate::policy::Verdict;
+        assert_eq!(back.decide("jp.co.a.game", Some(1)), Verdict::Forward);
+        assert_eq!(back.decide("jp.co.a.game", Some(2)), Verdict::Block);
+        assert_eq!(back.decide("com.b.news", Some(1)), Verdict::Block);
+        assert_eq!(back.decide("com.c.memo", Some(9)), Verdict::Prompt);
+    }
+
+    #[test]
+    fn policy_rejects_malformed() {
+        assert!(decode_policy("").is_err());
+        assert!(decode_policy("LEAKPOLICY/1\nallow app\n").is_err());
+        assert!(decode_policy("LEAKPOLICY/1\nmaybe app 3\n").is_err());
+        assert!(decode_policy("LEAKPOLICY/1\nallow app x\n").is_err());
+        assert!(decode_policy("LEAKPOLICY/1\nallow app 3 extra\n").is_err());
+    }
+
+    #[test]
+    fn store_round_trip() {
+        let mk = |slot: &str| {
+            RequestBuilder::get("/getad")
+                .query("imei", "355195000000017")
+                .query("slot", slot)
+                .destination(Ipv4Addr::new(203, 0, 113, 3), 80, "ad-maker.info")
+                .build()
+        };
+        let server = SignatureServer::new();
+        server.publish(&generate_signatures(&[&mk("1"), &mk("2")], &{
+            let mut cfg = PipelineConfig::default();
+            cfg.signature.include_singletons = false;
+            cfg
+        }));
+        let store = SignatureStore::new();
+        store.sync(&server).unwrap();
+
+        let snapshot = encode_store(&store);
+        let restored = decode_store(&snapshot).unwrap();
+        assert_eq!(restored.version(), store.version());
+        assert_eq!(restored.signature_count(), store.signature_count());
+        assert!(restored.match_packet(&mk("42")).is_some());
+    }
+
+    #[test]
+    fn store_rejects_malformed() {
+        assert!(decode_store("").is_err());
+        assert!(decode_store("WAT 1\nLEAKSIG/1\n").is_err());
+        assert!(decode_store("LEAKSTORE/1 x\nLEAKSIG/1\n").is_err());
+        assert!(decode_store("LEAKSTORE/1 3\nnot-signatures\n").is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Per-app transmission policy and the user-decision cache.
+//!
+//! The paper's goal is that the user "manage suspicious applications'
+//! network behavior in a fine grained manner": benign traffic flows
+//! uninterrupted, while a signature hit triggers a prompt whose answer can
+//! be remembered per `(app, signature)`.
+
+use std::collections::HashMap;
+
+/// What the gate should do with a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// No signature matched, or the user previously allowed this flow.
+    Forward,
+    /// The user previously blocked this flow.
+    Block,
+    /// A signature matched and no remembered decision exists.
+    Prompt,
+}
+
+/// The user's answer to a prompt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserChoice {
+    /// Let this packet through; ask again next time.
+    AllowOnce,
+    /// Let this and all future `(app, signature)` hits through.
+    AllowAlways,
+    /// Drop this packet; ask again next time.
+    BlockOnce,
+    /// Drop this and all future `(app, signature)` hits.
+    BlockAlways,
+}
+
+/// A remembered decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Remembered {
+    Allow,
+    Block,
+}
+
+/// Key of the decision cache: which app triggered which signature.
+pub type FlowKey = (String, u32);
+
+/// The policy engine: decision cache plus defaults.
+#[derive(Debug, Default)]
+pub struct PolicyEngine {
+    remembered: HashMap<FlowKey, Remembered>,
+}
+
+impl PolicyEngine {
+    /// Empty policy: everything unmatched forwards, every match prompts.
+    pub fn new() -> Self {
+        PolicyEngine::default()
+    }
+
+    /// Decide for a packet from `app` that matched `signature_id`
+    /// (`None` = no match).
+    pub fn decide(&self, app: &str, signature_id: Option<u32>) -> Verdict {
+        let Some(sig) = signature_id else {
+            return Verdict::Forward;
+        };
+        match self.remembered.get(&(app.to_string(), sig)) {
+            Some(Remembered::Allow) => Verdict::Forward,
+            Some(Remembered::Block) => Verdict::Block,
+            None => Verdict::Prompt,
+        }
+    }
+
+    /// Record the user's answer to a prompt for `(app, signature_id)`.
+    /// Returns whether the pending packet should be forwarded.
+    pub fn resolve(&mut self, app: &str, signature_id: u32, choice: UserChoice) -> bool {
+        let key = (app.to_string(), signature_id);
+        match choice {
+            UserChoice::AllowOnce => true,
+            UserChoice::BlockOnce => false,
+            UserChoice::AllowAlways => {
+                self.remembered.insert(key, Remembered::Allow);
+                true
+            }
+            UserChoice::BlockAlways => {
+                self.remembered.insert(key, Remembered::Block);
+                false
+            }
+        }
+    }
+
+    /// Forget one remembered decision (the user changed their mind).
+    pub fn forget(&mut self, app: &str, signature_id: u32) -> bool {
+        self.remembered
+            .remove(&(app.to_string(), signature_id))
+            .is_some()
+    }
+
+    /// Number of remembered decisions.
+    pub fn remembered_count(&self) -> usize {
+        self.remembered.len()
+    }
+
+    /// Snapshot of remembered decisions as `(app, signature, allow)` rows
+    /// (persistence support).
+    pub fn remembered_rows(&self) -> Vec<(String, u32, bool)> {
+        self.remembered
+            .iter()
+            .map(|((app, sig), r)| (app.clone(), *sig, matches!(r, Remembered::Allow)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmatched_traffic_forwards() {
+        let p = PolicyEngine::new();
+        assert_eq!(p.decide("jp.co.x.game", None), Verdict::Forward);
+    }
+
+    #[test]
+    fn first_match_prompts() {
+        let p = PolicyEngine::new();
+        assert_eq!(p.decide("jp.co.x.game", Some(3)), Verdict::Prompt);
+    }
+
+    #[test]
+    fn always_choices_are_remembered() {
+        let mut p = PolicyEngine::new();
+        assert!(p.resolve("app.a", 1, UserChoice::AllowAlways));
+        assert!(!p.resolve("app.a", 2, UserChoice::BlockAlways));
+        assert_eq!(p.decide("app.a", Some(1)), Verdict::Forward);
+        assert_eq!(p.decide("app.a", Some(2)), Verdict::Block);
+        // Scoped per app: another app still prompts.
+        assert_eq!(p.decide("app.b", Some(1)), Verdict::Prompt);
+        assert_eq!(p.remembered_count(), 2);
+    }
+
+    #[test]
+    fn once_choices_are_not_remembered() {
+        let mut p = PolicyEngine::new();
+        assert!(p.resolve("app.a", 1, UserChoice::AllowOnce));
+        assert!(!p.resolve("app.a", 1, UserChoice::BlockOnce));
+        assert_eq!(p.decide("app.a", Some(1)), Verdict::Prompt);
+        assert_eq!(p.remembered_count(), 0);
+    }
+
+    #[test]
+    fn forget_reverts_to_prompt() {
+        let mut p = PolicyEngine::new();
+        p.resolve("app.a", 1, UserChoice::BlockAlways);
+        assert_eq!(p.decide("app.a", Some(1)), Verdict::Block);
+        assert!(p.forget("app.a", 1));
+        assert!(!p.forget("app.a", 1), "double forget");
+        assert_eq!(p.decide("app.a", Some(1)), Verdict::Prompt);
+    }
+}

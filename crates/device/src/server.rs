@@ -1,0 +1,225 @@
+//! The collection server of Fig. 3a as a long-running component.
+//!
+//! The paper's server "collects application traffic, clustering the data
+//! and generating signatures". This module gives that loop a concrete
+//! shape: packets are ingested continuously, the payload check routes
+//! suspicious ones into a bounded reservoir, and `regenerate` runs the
+//! §IV pipeline over the current reservoir and publishes the result to a
+//! [`SignatureServer`] that devices sync from.
+//!
+//! The reservoir uses classic reservoir sampling so the retained sample
+//! stays uniform over everything seen, no matter how long the server
+//! runs — matching the paper's "select N HTTP packets at random out of
+//! the suspicious group".
+
+use crate::store::SignatureServer;
+use leaksig_core::payload::PayloadCheck;
+use leaksig_core::prelude::*;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Ingest/regeneration statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Packets seen.
+    pub ingested: u64,
+    /// Packets routed to the reservoir.
+    pub suspicious: u64,
+    /// Packets routed to the normal ring.
+    pub normal: u64,
+    /// Signature regenerations performed.
+    pub regenerations: u64,
+}
+
+/// The collection + generation server.
+pub struct CollectionServer<T: Copy + Eq + Send> {
+    check: PayloadCheck<T>,
+    config: PipelineConfig,
+    capacity: usize,
+    state: Mutex<ServerState>,
+}
+
+struct ServerState {
+    /// Uniform sample of suspicious packets seen so far.
+    reservoir: Vec<leaksig_http::HttpPacket>,
+    /// Recent normal packets (ring) for signature validation.
+    normal_ring: Vec<leaksig_http::HttpPacket>,
+    normal_pos: usize,
+    rng: StdRng,
+    stats: ServerStats,
+}
+
+impl<T: Copy + Eq + Send> CollectionServer<T> {
+    /// A server keeping at most `capacity` suspicious packets, using
+    /// `check` for the §IV-A split.
+    pub fn new(check: PayloadCheck<T>, config: PipelineConfig, capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        CollectionServer {
+            check,
+            config,
+            capacity,
+            state: Mutex::new(ServerState {
+                reservoir: Vec::with_capacity(capacity),
+                normal_ring: Vec::with_capacity(2048),
+                normal_pos: 0,
+                rng: StdRng::seed_from_u64(seed),
+                stats: ServerStats::default(),
+            }),
+        }
+    }
+
+    /// Ingest one captured packet; returns whether it was suspicious.
+    pub fn ingest(&self, packet: &leaksig_http::HttpPacket) -> bool {
+        let suspicious = self.check.is_suspicious(packet);
+        let mut st = self.state.lock();
+        st.stats.ingested += 1;
+        if suspicious {
+            st.stats.suspicious += 1;
+            // Reservoir sampling: keep each suspicious packet with
+            // probability capacity / seen-so-far.
+            if st.reservoir.len() < self.capacity {
+                st.reservoir.push(packet.clone());
+            } else {
+                let seen = st.stats.suspicious;
+                let j = st.rng.random_range(0..seen);
+                if (j as usize) < self.capacity {
+                    let slot = j as usize;
+                    st.reservoir[slot] = packet.clone();
+                }
+            }
+        } else {
+            st.stats.normal += 1;
+            // Bounded ring of recent normal traffic for FP validation.
+            if st.normal_ring.len() < 2048 {
+                st.normal_ring.push(packet.clone());
+            } else {
+                let pos = st.normal_pos;
+                st.normal_ring[pos] = packet.clone();
+                st.normal_pos = (pos + 1) % 2048;
+            }
+        }
+        suspicious
+    }
+
+    /// Run the §IV pipeline over (up to) `n` reservoir packets, validate
+    /// against the normal ring, and publish to `server`. Returns the
+    /// published version, or `None` when no suspicious traffic exists yet.
+    pub fn regenerate(&self, n: usize, server: &SignatureServer) -> Option<u64> {
+        let mut st = self.state.lock();
+        if st.reservoir.is_empty() {
+            return None;
+        }
+        // Sample n of the reservoir (it is already uniform; take a prefix
+        // of a shuffle for sub-sampling determinism).
+        let mut idx: Vec<usize> = (0..st.reservoir.len()).collect();
+        for i in (1..idx.len()).rev() {
+            let j = st.rng.random_range(0..=i as u64) as usize;
+            idx.swap(i, j);
+        }
+        idx.truncate(n);
+        let sample: Vec<&leaksig_http::HttpPacket> =
+            idx.iter().map(|&i| &st.reservoir[i]).collect();
+
+        let mut set = generate_signatures(&sample, &self.config);
+        if let Some(v) = self.config.fp_validation {
+            let normal: Vec<&leaksig_http::HttpPacket> =
+                st.normal_ring.iter().take(v.sample).collect();
+            prune_against_normal(&mut set, &normal, v.max_hits);
+        }
+        drop_dominated(&mut set);
+
+        st.stats.regenerations += 1;
+        Some(server.publish(&set))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.state.lock().stats
+    }
+
+    /// Current reservoir size.
+    pub fn reservoir_len(&self) -> usize {
+        self.state.lock().reservoir.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::SignatureStore;
+    use leaksig_http::RequestBuilder;
+    use std::net::Ipv4Addr;
+
+    fn leak(i: usize) -> leaksig_http::HttpPacket {
+        RequestBuilder::get("/getad")
+            .query("imei", "355195000000017")
+            .query("slot", &(i % 9).to_string())
+            .destination(Ipv4Addr::new(203, 0, 113, 3), 80, "ad-maker.info")
+            .build()
+    }
+
+    fn clean(i: usize) -> leaksig_http::HttpPacket {
+        RequestBuilder::get("/img")
+            .query("f", &format!("{i:06x}.png"))
+            .destination(Ipv4Addr::new(198, 51, 100, 8), 80, "cdn.example.jp")
+            .build()
+    }
+
+    fn server() -> CollectionServer<&'static str> {
+        CollectionServer::new(
+            PayloadCheck::new([("imei", "355195000000017")]),
+            PipelineConfig::default(),
+            64,
+            7,
+        )
+    }
+
+    #[test]
+    fn ingest_routes_and_counts() {
+        let srv = server();
+        for i in 0..30 {
+            assert!(srv.ingest(&leak(i)));
+            assert!(!srv.ingest(&clean(i)));
+        }
+        let stats = srv.stats();
+        assert_eq!(stats.ingested, 60);
+        assert_eq!(stats.suspicious, 30);
+        assert_eq!(stats.normal, 30);
+        assert_eq!(srv.reservoir_len(), 30);
+    }
+
+    #[test]
+    fn reservoir_stays_bounded() {
+        let srv = server();
+        for i in 0..500 {
+            srv.ingest(&leak(i));
+        }
+        assert_eq!(srv.reservoir_len(), 64);
+        assert_eq!(srv.stats().suspicious, 500);
+    }
+
+    #[test]
+    fn regenerate_publishes_working_signatures() {
+        let srv = server();
+        let publisher = SignatureServer::new();
+        assert_eq!(srv.regenerate(20, &publisher), None, "nothing ingested yet");
+
+        for i in 0..100 {
+            srv.ingest(&leak(i));
+            srv.ingest(&clean(i));
+        }
+        let version = srv.regenerate(20, &publisher).expect("publishes");
+        assert_eq!(version, 1);
+        assert_eq!(srv.stats().regenerations, 1);
+
+        // A device syncs and detects fresh module traffic.
+        let store = SignatureStore::new();
+        assert!(store.sync(&publisher).unwrap());
+        assert!(store.match_packet(&leak(999)).is_some());
+        assert!(store.match_packet(&clean(999)).is_none());
+
+        // Second regeneration bumps the version.
+        assert_eq!(srv.regenerate(20, &publisher), Some(2));
+    }
+}

@@ -1,0 +1,194 @@
+//! Signature distribution: the server side publishes versioned signature
+//! sets; the device-side store fetches and swaps them atomically.
+//!
+//! This models Fig. 3's arrow from the clustering server to the
+//! information-flow-control application. Transport is the `leaksig-core`
+//! wire format; "fetching" is an in-process call here, but the store only
+//! ever sees wire text, so swapping in a real HTTP fetch changes nothing
+//! else.
+
+use leaksig_core::prelude::*;
+use leaksig_core::wire;
+use parking_lot::RwLock;
+
+/// The publishing side: holds the current signature set and its version.
+#[derive(Debug, Default)]
+pub struct SignatureServer {
+    inner: RwLock<(u64, String)>,
+}
+
+impl SignatureServer {
+    /// An empty server at version 0.
+    pub fn new() -> Self {
+        SignatureServer {
+            inner: RwLock::new((0, wire::encode(&SignatureSet::default()))),
+        }
+    }
+
+    /// Publish a new signature set, bumping the version.
+    pub fn publish(&self, set: &SignatureSet) -> u64 {
+        let mut guard = self.inner.write();
+        guard.0 += 1;
+        guard.1 = wire::encode(set);
+        guard.0
+    }
+
+    /// Current version.
+    pub fn version(&self) -> u64 {
+        self.inner.read().0
+    }
+
+    /// Fetch the wire text if the caller's version is stale.
+    pub fn fetch(&self, have_version: u64) -> Option<(u64, String)> {
+        let guard = self.inner.read();
+        (guard.0 > have_version).then(|| (guard.0, guard.1.clone()))
+    }
+}
+
+/// Device-side store: the detector currently in force plus its version
+/// and the wire text it was installed from (kept for persistence).
+#[derive(Debug)]
+pub struct SignatureStore {
+    inner: RwLock<(u64, Detector, String)>,
+}
+
+impl Default for SignatureStore {
+    fn default() -> Self {
+        SignatureStore {
+            inner: RwLock::new((
+                0,
+                Detector::new(SignatureSet::default()),
+                wire::encode(&SignatureSet::default()),
+            )),
+        }
+    }
+}
+
+impl SignatureStore {
+    /// An empty store at version 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Version of the installed set.
+    pub fn version(&self) -> u64 {
+        self.inner.read().0
+    }
+
+    /// Number of installed signatures.
+    pub fn signature_count(&self) -> usize {
+        self.inner.read().1.signatures().len()
+    }
+
+    /// Install a set from wire text at an explicit version.
+    pub fn install(&self, version: u64, wire_text: &str) -> Result<(), WireError> {
+        let set = wire::decode(wire_text)?;
+        *self.inner.write() = (version, Detector::new(set), wire_text.to_string());
+        Ok(())
+    }
+
+    /// The wire text of the installed set (persistence support).
+    pub fn wire_text(&self) -> String {
+        self.inner.read().2.clone()
+    }
+
+    /// Pull from `server` if it has something newer. Returns `true` when
+    /// an update was installed.
+    pub fn sync(&self, server: &SignatureServer) -> Result<bool, WireError> {
+        let have = self.version();
+        match server.fetch(have) {
+            Some((version, text)) => {
+                self.install(version, &text)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Run the installed detector against a packet.
+    pub fn match_packet(&self, packet: &leaksig_http::HttpPacket) -> Option<Detection> {
+        self.inner.read().1.match_packet(packet)
+    }
+
+    /// Detection evidence for a user prompt (see [`Explanation`]).
+    pub fn explain(&self, packet: &leaksig_http::HttpPacket) -> Option<Explanation> {
+        self.inner.read().1.explain(packet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaksig_http::RequestBuilder;
+    use std::net::Ipv4Addr;
+
+    fn leak_packet(slot: &str) -> leaksig_http::HttpPacket {
+        RequestBuilder::get("/getad")
+            .query("imei", "355195000000017")
+            .query("slot", slot)
+            .destination(Ipv4Addr::new(203, 0, 113, 3), 80, "ad-maker.info")
+            .build()
+    }
+
+    fn one_signature_set() -> SignatureSet {
+        let (a, b) = (leak_packet("1"), leak_packet("2"));
+        generate_signatures(&[&a, &b], &{
+            let mut cfg = PipelineConfig::default();
+            cfg.signature.include_singletons = false;
+            cfg
+        })
+    }
+
+    #[test]
+    fn fresh_store_matches_nothing() {
+        let store = SignatureStore::new();
+        assert_eq!(store.version(), 0);
+        assert_eq!(store.signature_count(), 0);
+        assert!(store.match_packet(&leak_packet("9")).is_none());
+    }
+
+    #[test]
+    fn publish_sync_detect() {
+        let server = SignatureServer::new();
+        let store = SignatureStore::new();
+        assert!(!store.sync(&server).unwrap(), "nothing to fetch yet");
+
+        let v = server.publish(&one_signature_set());
+        assert_eq!(v, 1);
+        assert!(store.sync(&server).unwrap());
+        assert_eq!(store.version(), 1);
+        assert!(store.signature_count() >= 1);
+        assert!(store.match_packet(&leak_packet("42")).is_some());
+
+        // Second sync is a no-op.
+        assert!(!store.sync(&server).unwrap());
+    }
+
+    #[test]
+    fn republish_bumps_version_and_replaces() {
+        let server = SignatureServer::new();
+        let store = SignatureStore::new();
+        server.publish(&one_signature_set());
+        store.sync(&server).unwrap();
+
+        // Publish an empty set: detection must stop.
+        let v2 = server.publish(&SignatureSet::default());
+        assert_eq!(v2, 2);
+        assert!(store.sync(&server).unwrap());
+        assert_eq!(store.version(), 2);
+        assert!(store.match_packet(&leak_packet("7")).is_none());
+    }
+
+    #[test]
+    fn corrupt_wire_is_rejected_and_store_unchanged() {
+        let store = SignatureStore::new();
+        let server = SignatureServer::new();
+        server.publish(&one_signature_set());
+        store.sync(&server).unwrap();
+        let before = store.signature_count();
+
+        assert!(store.install(9, "garbage").is_err());
+        assert_eq!(store.version(), 1, "failed install must not bump version");
+        assert_eq!(store.signature_count(), before);
+    }
+}

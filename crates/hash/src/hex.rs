@@ -1,0 +1,101 @@
+//! Lowercase hexadecimal encoding/decoding.
+
+/// Error returned by [`decode_hex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexError {
+    /// The input length was odd.
+    OddLength,
+    /// A byte at the given offset was not a hex digit.
+    InvalidDigit(usize),
+}
+
+impl std::fmt::Display for HexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HexError::OddLength => write!(f, "hex string has odd length"),
+            HexError::InvalidDigit(at) => write!(f, "invalid hex digit at offset {at}"),
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+const TABLE: &[u8; 16] = b"0123456789abcdef";
+
+/// Encode `bytes` as lowercase hex.
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+fn nibble(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Decode a hex string (either case) into bytes.
+pub fn decode_hex(s: &str) -> Result<Vec<u8>, HexError> {
+    let b = s.as_bytes();
+    if !b.len().is_multiple_of(2) {
+        return Err(HexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(b.len() / 2);
+    for (i, pair) in b.chunks_exact(2).enumerate() {
+        let hi = nibble(pair[0]).ok_or(HexError::InvalidDigit(i * 2))?;
+        let lo = nibble(pair[1]).ok_or(HexError::InvalidDigit(i * 2 + 1))?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_known() {
+        assert_eq!(encode_hex(&[]), "");
+        assert_eq!(encode_hex(&[0x00, 0xff, 0x0a]), "00ff0a");
+    }
+
+    #[test]
+    fn decode_known() {
+        assert_eq!(decode_hex("00ff0a").unwrap(), vec![0x00, 0xff, 0x0a]);
+        assert_eq!(decode_hex("00FF0A").unwrap(), vec![0x00, 0xff, 0x0a]);
+        assert_eq!(decode_hex("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn decode_rejects_odd_length() {
+        assert_eq!(decode_hex("abc"), Err(HexError::OddLength));
+    }
+
+    #[test]
+    fn decode_rejects_bad_digit() {
+        assert_eq!(decode_hex("0g"), Err(HexError::InvalidDigit(1)));
+        assert_eq!(decode_hex("zz"), Err(HexError::InvalidDigit(0)));
+    }
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        assert_eq!(decode_hex(&encode_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(HexError::OddLength.to_string(), "hex string has odd length");
+        assert_eq!(
+            HexError::InvalidDigit(3).to_string(),
+            "invalid hex digit at offset 3"
+        );
+    }
+}

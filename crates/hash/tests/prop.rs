@@ -1,0 +1,52 @@
+//! Property tests for the digest implementations.
+
+use leaksig_hash::{decode_hex, encode_hex, md5_hex, sha1_hex, Digest, Md5, Sha1};
+use proptest::prelude::*;
+
+proptest! {
+    /// Streaming with arbitrary chunk boundaries must match one-shot hashing.
+    #[test]
+    fn md5_chunking_invariance(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                               cuts in proptest::collection::vec(0usize..2048, 0..8)) {
+        let mut h = Md5::new();
+        let mut prev = 0usize;
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        for c in cuts {
+            h.update(&data[prev..c.max(prev)]);
+            prev = c.max(prev);
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(encode_hex(&h.finalize()), md5_hex(&data));
+    }
+
+    #[test]
+    fn sha1_chunking_invariance(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                cuts in proptest::collection::vec(0usize..2048, 0..8)) {
+        let mut h = Sha1::new();
+        let mut prev = 0usize;
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        for c in cuts {
+            h.update(&data[prev..c.max(prev)]);
+            prev = c.max(prev);
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(encode_hex(&h.finalize()), sha1_hex(&data));
+    }
+
+    /// Hex round-trips for arbitrary byte strings.
+    #[test]
+    fn hex_round_trip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(decode_hex(&encode_hex(&data)).unwrap(), data);
+    }
+
+    /// Digests of distinct short identifiers are distinct (sanity, not a
+    /// collision-resistance claim).
+    #[test]
+    fn distinct_inputs_distinct_digests(a in "[0-9]{15}", b in "[0-9]{15}") {
+        prop_assume!(a != b);
+        prop_assert_ne!(md5_hex(a.as_bytes()), md5_hex(b.as_bytes()));
+        prop_assert_ne!(sha1_hex(a.as_bytes()), sha1_hex(b.as_bytes()));
+    }
+}

@@ -1,0 +1,305 @@
+//! Raw request-byte parser (RFC 7230 subset).
+//!
+//! Accepts: a request line (`METHOD SP target SP HTTP/x.y`), any number of
+//! `name: value` header fields, a blank line, and a body delimited by
+//! `Content-Length` (or by end-of-input when absent — capture files often
+//! lack the header for GETs). Both CRLF and bare LF line endings are
+//! accepted; traffic dumps are sloppy.
+
+use crate::model::{Destination, HttpPacket, Method, RequestLine};
+use std::net::Ipv4Addr;
+
+/// Parse failure, with enough position information to debug a capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Input had no request line.
+    Empty,
+    /// Request line did not have the three space-separated parts.
+    MalformedRequestLine(String),
+    /// The version token did not start with `HTTP/`.
+    BadVersion(String),
+    /// A header line had no `:` separator (line number, 0-based from the
+    /// first header line).
+    MalformedHeader(usize),
+    /// A header name contained forbidden bytes.
+    BadHeaderName(usize),
+    /// Headers were not terminated by a blank line.
+    UnterminatedHeaders,
+    /// `Content-Length` was present but not a valid number.
+    BadContentLength(String),
+    /// The body was shorter than `Content-Length` promised.
+    TruncatedBody {
+        /// Bytes promised by `Content-Length`.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty request"),
+            ParseError::MalformedRequestLine(l) => write!(f, "malformed request line: {l:?}"),
+            ParseError::BadVersion(v) => write!(f, "bad HTTP version token: {v:?}"),
+            ParseError::MalformedHeader(n) => write!(f, "header line {n} has no colon"),
+            ParseError::BadHeaderName(n) => write!(f, "header line {n} has an invalid name"),
+            ParseError::UnterminatedHeaders => write!(f, "headers not terminated by blank line"),
+            ParseError::BadContentLength(v) => write!(f, "bad Content-Length: {v:?}"),
+            ParseError::TruncatedBody { expected, got } => {
+                write!(f, "body truncated: expected {expected} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Split off one line (supporting `\r\n` and `\n`), returning
+/// `(line_without_terminator, rest)`, or `None` if no terminator exists.
+fn take_line(input: &[u8]) -> Option<(&[u8], &[u8])> {
+    let nl = input.iter().position(|&b| b == b'\n')?;
+    let line = if nl > 0 && input[nl - 1] == b'\r' {
+        &input[..nl - 1]
+    } else {
+        &input[..nl]
+    };
+    Some((line, &input[nl + 1..]))
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Parse raw request bytes captured toward `ip:port` into an
+/// [`HttpPacket`]. The packet's host is taken from the `Host` header
+/// (empty string when absent, as in HTTP/1.0 captures).
+pub fn parse_request(raw: &[u8], ip: Ipv4Addr, port: u16) -> Result<HttpPacket, ParseError> {
+    let (first, mut rest) = take_line(raw).ok_or(ParseError::Empty)?;
+    if first.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let first_str = String::from_utf8_lossy(first);
+    let mut parts = first_str.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(ParseError::MalformedRequestLine(first_str.into_owned())),
+    };
+    if !version.starts_with("HTTP/") {
+        return Err(ParseError::BadVersion(version.to_string()));
+    }
+    let request_line = RequestLine {
+        method: Method::from_token(method),
+        target: target.to_string(),
+        version: version.to_string(),
+    };
+
+    let mut headers: Vec<(String, Vec<u8>)> = Vec::new();
+    let mut line_no = 0usize;
+    let body;
+    loop {
+        let (line, next) = take_line(rest).ok_or(ParseError::UnterminatedHeaders)?;
+        rest = next;
+        if line.is_empty() {
+            body = rest;
+            break;
+        }
+        let colon = line
+            .iter()
+            .position(|&b| b == b':')
+            .ok_or(ParseError::MalformedHeader(line_no))?;
+        let name = &line[..colon];
+        if name.is_empty() || !name.iter().all(|&b| is_token_byte(b)) {
+            return Err(ParseError::BadHeaderName(line_no));
+        }
+        let mut value = &line[colon + 1..];
+        // Trim optional whitespace around the value.
+        while value.first() == Some(&b' ') || value.first() == Some(&b'\t') {
+            value = &value[1..];
+        }
+        while value.last() == Some(&b' ') || value.last() == Some(&b'\t') {
+            value = &value[..value.len() - 1];
+        }
+        headers.push((String::from_utf8_lossy(name).into_owned(), value.to_vec()));
+        line_no += 1;
+    }
+
+    let body = match headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("Content-Length"))
+    {
+        Some((_, v)) => {
+            let text = String::from_utf8_lossy(v);
+            let expected: usize = text
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::BadContentLength(text.into_owned()))?;
+            if body.len() < expected {
+                return Err(ParseError::TruncatedBody {
+                    expected,
+                    got: body.len(),
+                });
+            }
+            body[..expected].to_vec()
+        }
+        None => body.to_vec(),
+    };
+
+    let host = parse_host(&headers);
+    Ok(HttpPacket {
+        destination: Destination::new(ip, port, host),
+        request_line,
+        headers,
+        body,
+    })
+}
+
+/// Extract the FQDN from the `Host` header, dropping any `:port` suffix.
+fn parse_host(headers: &[(String, Vec<u8>)]) -> String {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("Host"))
+        .map(|(_, v)| {
+            let s = String::from_utf8_lossy(v);
+            match s.split_once(':') {
+                Some((h, _)) => h.to_string(),
+                None => s.into_owned(),
+            }
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IP: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 10);
+
+    fn parse(raw: &[u8]) -> Result<HttpPacket, ParseError> {
+        parse_request(raw, IP, 80)
+    }
+
+    #[test]
+    fn minimal_get() {
+        let pkt = parse(b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\n").unwrap();
+        assert_eq!(pkt.request_line.method, Method::Get);
+        assert_eq!(pkt.request_line.target, "/");
+        assert_eq!(pkt.destination.host, "example.com");
+        assert!(pkt.body.is_empty());
+    }
+
+    #[test]
+    fn post_with_content_length() {
+        let pkt = parse(
+            b"POST /track HTTP/1.1\r\nHost: flurry.com\r\nContent-Length: 11\r\n\r\nimei=355195",
+        )
+        .unwrap();
+        assert_eq!(pkt.request_line.method, Method::Post);
+        assert_eq!(pkt.body, b"imei=355195");
+    }
+
+    #[test]
+    fn content_length_truncates_trailing_garbage() {
+        let pkt =
+            parse(b"POST /x HTTP/1.1\r\nHost: h.jp\r\nContent-Length: 3\r\n\r\nabcEXTRA").unwrap();
+        assert_eq!(pkt.body, b"abc");
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let err =
+            parse(b"POST /x HTTP/1.1\r\nHost: h.jp\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::TruncatedBody {
+                expected: 10,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn bare_lf_line_endings() {
+        let pkt = parse(b"GET /a?b=c HTTP/1.0\nHost: nend.net\nCookie: s=1\n\n").unwrap();
+        assert_eq!(pkt.destination.host, "nend.net");
+        assert_eq!(pkt.cookie(), b"s=1");
+    }
+
+    #[test]
+    fn host_port_suffix_dropped() {
+        let pkt = parse(b"GET / HTTP/1.1\r\nHost: proxy.example.jp:8080\r\n\r\n").unwrap();
+        assert_eq!(pkt.destination.host, "proxy.example.jp");
+    }
+
+    #[test]
+    fn missing_host_is_empty() {
+        let pkt = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(pkt.destination.host, "");
+    }
+
+    #[test]
+    fn malformed_request_lines() {
+        assert_eq!(parse(b""), Err(ParseError::Empty));
+        assert_eq!(parse(b"\r\n\r\n"), Err(ParseError::Empty));
+        assert!(matches!(
+            parse(b"GET /\r\n\r\n"),
+            Err(ParseError::MalformedRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / index HTTP/1.1\r\n\r\n"),
+            Err(ParseError::MalformedRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / FTP/1.1\r\n\r\n"),
+            Err(ParseError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_headers() {
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ParseError::MalformedHeader(0))
+        );
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nOk: 1\r\nbad name: 2\r\n\r\n"),
+            Err(ParseError::BadHeaderName(1))
+        );
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nHost: x"),
+            Err(ParseError::UnterminatedHeaders)
+        );
+    }
+
+    #[test]
+    fn bad_content_length() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            Err(ParseError::BadContentLength(_))
+        ));
+    }
+
+    #[test]
+    fn header_value_whitespace_trimmed() {
+        let pkt = parse(b"GET / HTTP/1.1\r\nHost:   spaced.example.jp  \r\n\r\n").unwrap();
+        assert_eq!(pkt.destination.host, "spaced.example.jp");
+    }
+
+    #[test]
+    fn binary_body_preserved() {
+        let mut raw = b"POST /b HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\n".to_vec();
+        raw.extend_from_slice(&[0x00, 0xff, 0x80, 0x7f]);
+        let pkt = parse(&raw).unwrap();
+        assert_eq!(pkt.body, vec![0x00, 0xff, 0x80, 0x7f]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ParseError::TruncatedBody {
+            expected: 5,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expected 5"));
+        assert!(ParseError::Empty.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,163 @@
+//! `application/x-www-form-urlencoded` query codec.
+//!
+//! Ad modules put identifiers in query strings and POST bodies; both the
+//! traffic generator and the payload check need a shared, reversible
+//! encoding. Follows the WHATWG form-urlencoded rules: space becomes `+`,
+//! unreserved bytes (`A–Z a–z 0–9 - _ . ~ *`) pass through, everything
+//! else is `%XX`.
+
+/// Percent-encode one form field component.
+pub fn encode_component(raw: &[u8]) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for &b in raw {
+        match b {
+            b' ' => out.push('+'),
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' | b'*' => {
+                out.push(b as char)
+            }
+            _ => {
+                out.push('%');
+                out.push(
+                    char::from_digit((b >> 4) as u32, 16)
+                        .unwrap()
+                        .to_ascii_uppercase(),
+                );
+                out.push(
+                    char::from_digit((b & 0xf) as u32, 16)
+                        .unwrap()
+                        .to_ascii_uppercase(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Decode one form field component. Invalid `%` escapes are passed through
+/// literally (lenient, like browsers and capture tooling).
+pub fn decode_component(s: &str) -> Vec<u8> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Encode key–value pairs as `k1=v1&k2=v2`.
+pub fn encode_pairs<'a, I>(pairs: I) -> String
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut out = String::new();
+    for (i, (k, v)) in pairs.into_iter().enumerate() {
+        if i > 0 {
+            out.push('&');
+        }
+        out.push_str(&encode_component(k.as_bytes()));
+        out.push('=');
+        out.push_str(&encode_component(v.as_bytes()));
+    }
+    out
+}
+
+/// Decode a query string into key–value pairs. Pairs without `=` decode to
+/// an empty value; empty segments (from `&&`) are skipped.
+pub fn decode_pairs(query: &str) -> Vec<(Vec<u8>, Vec<u8>)> {
+    query
+        .split('&')
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| match seg.split_once('=') {
+            Some((k, v)) => (decode_component(k), decode_component(v)),
+            None => (decode_component(seg), Vec::new()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_unreserved_passthrough() {
+        assert_eq!(encode_component(b"AZaz09-_.~*"), "AZaz09-_.~*");
+    }
+
+    #[test]
+    fn encode_specials() {
+        assert_eq!(encode_component(b"a b"), "a+b");
+        assert_eq!(encode_component(b"k=v&x"), "k%3Dv%26x");
+        assert_eq!(encode_component(&[0x00, 0xff]), "%00%FF");
+        assert_eq!(encode_component("日本".as_bytes()), "%E6%97%A5%E6%9C%AC");
+    }
+
+    #[test]
+    fn decode_basics() {
+        assert_eq!(decode_component("a+b"), b"a b");
+        assert_eq!(decode_component("k%3Dv%26x"), b"k=v&x");
+        assert_eq!(decode_component("%e6%97%a5"), "日".as_bytes());
+    }
+
+    #[test]
+    fn decode_lenient_on_bad_escapes() {
+        assert_eq!(decode_component("100%"), b"100%");
+        assert_eq!(decode_component("%zz"), b"%zz");
+        assert_eq!(decode_component("%1"), b"%1");
+    }
+
+    #[test]
+    fn pairs_round_trip() {
+        let pairs = [
+            ("androidid", "f3a9c1d2"),
+            ("carrier", "NTT DOCOMO"),
+            ("v", ""),
+        ];
+        let encoded = encode_pairs(pairs);
+        assert_eq!(encoded, "androidid=f3a9c1d2&carrier=NTT+DOCOMO&v=");
+        let decoded = decode_pairs(&encoded);
+        assert_eq!(
+            decoded,
+            vec![
+                (b"androidid".to_vec(), b"f3a9c1d2".to_vec()),
+                (b"carrier".to_vec(), b"NTT DOCOMO".to_vec()),
+                (b"v".to_vec(), b"".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn decode_pairs_edge_cases() {
+        assert!(decode_pairs("").is_empty());
+        assert_eq!(decode_pairs("lone"), vec![(b"lone".to_vec(), Vec::new())]);
+        assert_eq!(
+            decode_pairs("a=1&&b=2"),
+            vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), b"2".to_vec()),
+            ]
+        );
+    }
+}

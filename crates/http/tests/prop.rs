@@ -1,0 +1,78 @@
+//! Property tests: parse/serialize round trips and codec inverses.
+
+use leaksig_http::{parse_request, query, RequestBuilder};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn token() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.*-]{1,20}"
+}
+
+proptest! {
+    /// query codec: decode(encode(x)) == x for arbitrary bytes.
+    #[test]
+    fn component_round_trip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let encoded = query::encode_component(&data);
+        prop_assert_eq!(query::decode_component(&encoded), data);
+    }
+
+    #[test]
+    fn pairs_round_trip(pairs in proptest::collection::vec((token(), token()), 0..8)) {
+        let encoded = query::encode_pairs(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())));
+        let decoded = query::decode_pairs(&encoded);
+        let want: Vec<(Vec<u8>, Vec<u8>)> = pairs
+            .iter()
+            .map(|(k, v)| (k.as_bytes().to_vec(), v.as_bytes().to_vec()))
+            .collect();
+        prop_assert_eq!(decoded, want);
+    }
+
+    /// Build → serialize → parse is the identity on the packet model.
+    #[test]
+    fn packet_round_trip(
+        path_seg in "[a-z0-9/]{0,20}",
+        qs in proptest::collection::vec((token(), token()), 0..5),
+        host in "[a-z0-9.-]{1,30}",
+        // Interior spaces survive; leading/trailing whitespace is trimmed
+        // by the parser (normalisation, not a bug), so anchor the ends.
+        cookie in proptest::option::of("[a-zA-Z0-9=;_-]([a-zA-Z0-9=;_ -]{0,38}[a-zA-Z0-9=;_-])?"),
+        body in proptest::option::of(proptest::collection::vec(any::<u8>(), 1..128)),
+        post in any::<bool>(),
+        ip in any::<u32>(),
+        port in 1u16..,
+    ) {
+        let path = format!("/{path_seg}");
+        let mut b = if post {
+            RequestBuilder::post(&path)
+        } else {
+            RequestBuilder::get(&path)
+        };
+        for (k, v) in &qs {
+            b = b.query(k, v);
+        }
+        if let Some(c) = &cookie {
+            b = b.cookie(c);
+        }
+        if let Some(body) = &body {
+            b = b.body(body.clone());
+        }
+        let ip = Ipv4Addr::from(ip);
+        let pkt = b.destination(ip, port, &host).build();
+        let reparsed = parse_request(&pkt.to_bytes(), ip, port).unwrap();
+        prop_assert_eq!(reparsed, pkt);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse_request(&raw, Ipv4Addr::LOCALHOST, 80);
+    }
+
+    /// Structured garbage (line-shaped) also never panics and errors are
+    /// classified, not bogus successes with invented bodies.
+    #[test]
+    fn parser_linewise_garbage(lines in proptest::collection::vec("[ -~]{0,40}", 0..8)) {
+        let raw = lines.join("\r\n").into_bytes();
+        let _ = parse_request(&raw, Ipv4Addr::LOCALHOST, 80);
+    }
+}

@@ -1,0 +1,292 @@
+//! Device identity: the sensitive values the paper tracks.
+//!
+//! The paper's experiment ran all 1,188 applications on **one** handset
+//! (a Galaxy Nexus S on a Japanese carrier), so one [`DeviceProfile`] is
+//! shared by the whole synthetic market: every module that leaks, e.g.,
+//! the MD5 of the Android ID transmits the *same* digest. That sameness is
+//! what makes hashed identifiers clusterable and is central to the paper's
+//! argument that hashing a UDID does not anonymise it.
+
+use leaksig_hash::{md5_hex, sha1_hex};
+use rand::{Rng, RngExt};
+
+/// Japanese mobile carriers of the 2012 study period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Carrier {
+    /// NTT DOCOMO.
+    NttDocomo,
+    /// KDDI.
+    Kddi,
+    /// SoftBank Mobile.
+    SoftBank,
+}
+
+impl Carrier {
+    /// The operator name string as exposed by `TelephonyManager`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Carrier::NttDocomo => "NTT DOCOMO",
+            Carrier::Kddi => "KDDI",
+            Carrier::SoftBank => "SoftBank",
+        }
+    }
+
+    /// Mobile country code + network code (used in IMSI synthesis).
+    pub fn mcc_mnc(self) -> (&'static str, &'static str) {
+        match self {
+            Carrier::NttDocomo => ("440", "10"),
+            Carrier::Kddi => ("440", "50"),
+            Carrier::SoftBank => ("440", "20"),
+        }
+    }
+}
+
+/// The nine sensitive-information types of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SensitiveKind {
+    /// Android ID in the clear.
+    AndroidId,
+    /// MD5 hex digest of the Android ID.
+    AndroidIdMd5,
+    /// SHA-1 hex digest of the Android ID.
+    AndroidIdSha1,
+    /// Network operator name.
+    Carrier,
+    /// IMEI in the clear.
+    Imei,
+    /// MD5 hex digest of the IMEI.
+    ImeiMd5,
+    /// SHA-1 hex digest of the IMEI.
+    ImeiSha1,
+    /// IMSI in the clear.
+    Imsi,
+    /// SIM serial (ICCID) in the clear.
+    SimSerial,
+}
+
+impl SensitiveKind {
+    /// All kinds, in Table III row order.
+    pub const ALL: [SensitiveKind; 9] = [
+        SensitiveKind::AndroidId,
+        SensitiveKind::AndroidIdMd5,
+        SensitiveKind::AndroidIdSha1,
+        SensitiveKind::Carrier,
+        SensitiveKind::Imei,
+        SensitiveKind::ImeiMd5,
+        SensitiveKind::ImeiSha1,
+        SensitiveKind::Imsi,
+        SensitiveKind::SimSerial,
+    ];
+
+    /// The row label used in Table III.
+    pub fn label(self) -> &'static str {
+        match self {
+            SensitiveKind::AndroidId => "ANDROID ID",
+            SensitiveKind::AndroidIdMd5 => "ANDROID ID MD5",
+            SensitiveKind::AndroidIdSha1 => "ANDROID ID SHA1",
+            SensitiveKind::Carrier => "CARRIER",
+            SensitiveKind::Imei => "IMEI (Device ID)",
+            SensitiveKind::ImeiMd5 => "IMEI MD5",
+            SensitiveKind::ImeiSha1 => "IMEI SHA1",
+            SensitiveKind::Imsi => "IMSI (Subscriber ID)",
+            SensitiveKind::SimSerial => "SIM Serial ID",
+        }
+    }
+
+    /// Whether accessing this value requires `READ_PHONE_STATE`.
+    ///
+    /// Android ID (`Settings.Secure.ANDROID_ID`) and the operator name are
+    /// readable without any permission, which is how 433 apps can ship the
+    /// Android ID MD5 while only ~27% of the market holds PHONE STATE.
+    pub fn needs_phone_state(self) -> bool {
+        matches!(
+            self,
+            SensitiveKind::Imei
+                | SensitiveKind::ImeiMd5
+                | SensitiveKind::ImeiSha1
+                | SensitiveKind::Imsi
+                | SensitiveKind::SimSerial
+        )
+    }
+}
+
+/// The identifiers of one physical handset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceProfile {
+    /// 15-digit IMEI with a valid Luhn check digit.
+    pub imei: String,
+    /// 15-digit IMSI: MCC + MNC + subscriber number.
+    pub imsi: String,
+    /// 16-hex-digit Android ID (assigned at first boot).
+    pub android_id: String,
+    /// 19-digit ICCID-style SIM serial with Luhn check digit.
+    pub sim_serial: String,
+    /// Network operator.
+    pub carrier: Carrier,
+}
+
+impl DeviceProfile {
+    /// Synthesize a device from an RNG (deterministic under a seeded RNG).
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // IMEI: 8-digit TAC (use a Samsung-era range) + 6-digit serial.
+        let tac = "35519500";
+        let serial: String = (0..6)
+            .map(|_| char::from(b'0' + rng.random_range(0..10) as u8))
+            .collect();
+        let body = format!("{tac}{serial}");
+        let imei = format!("{body}{}", luhn_check_digit(&body));
+
+        let carrier = match rng.random_range(0..3u8) {
+            0 => Carrier::NttDocomo,
+            1 => Carrier::Kddi,
+            _ => Carrier::SoftBank,
+        };
+        let (mcc, mnc) = carrier.mcc_mnc();
+        let msin: String = (0..10)
+            .map(|_| char::from(b'0' + rng.random_range(0..10) as u8))
+            .collect();
+        let imsi = format!("{mcc}{mnc}{msin}");
+
+        let android_id: String = (0..16)
+            .map(|_| char::from_digit(rng.random_range(0..16u32), 16).unwrap())
+            .collect();
+
+        // ICCID: "8981" (telecom, Japan) + 14 digits + Luhn.
+        let iccid_body: String = std::iter::once("8981".to_string())
+            .chain((0..14).map(|_| rng.random_range(0..10u32).to_string()))
+            .collect();
+        let sim_serial = format!("{iccid_body}{}", luhn_check_digit(&iccid_body));
+
+        DeviceProfile {
+            imei,
+            imsi,
+            android_id,
+            sim_serial,
+            carrier,
+        }
+    }
+
+    /// The transmitted string for one sensitive kind.
+    pub fn value(&self, kind: SensitiveKind) -> String {
+        match kind {
+            SensitiveKind::AndroidId => self.android_id.clone(),
+            SensitiveKind::AndroidIdMd5 => md5_hex(self.android_id.as_bytes()),
+            SensitiveKind::AndroidIdSha1 => sha1_hex(self.android_id.as_bytes()),
+            SensitiveKind::Carrier => self.carrier.name().to_string(),
+            SensitiveKind::Imei => self.imei.clone(),
+            SensitiveKind::ImeiMd5 => md5_hex(self.imei.as_bytes()),
+            SensitiveKind::ImeiSha1 => sha1_hex(self.imei.as_bytes()),
+            SensitiveKind::Imsi => self.imsi.clone(),
+            SensitiveKind::SimSerial => self.sim_serial.clone(),
+        }
+    }
+
+    /// All nine `(kind, transmitted string)` pairs, for payload checking.
+    pub fn all_values(&self) -> Vec<(SensitiveKind, String)> {
+        SensitiveKind::ALL
+            .iter()
+            .map(|&k| (k, self.value(k)))
+            .collect()
+    }
+}
+
+/// Luhn check digit for a numeric string.
+pub fn luhn_check_digit(digits: &str) -> char {
+    let sum: u32 = digits
+        .bytes()
+        .rev()
+        .enumerate()
+        .map(|(i, b)| {
+            let d = (b - b'0') as u32;
+            if i % 2 == 0 {
+                let dd = d * 2;
+                if dd > 9 {
+                    dd - 9
+                } else {
+                    dd
+                }
+            } else {
+                d
+            }
+        })
+        .sum();
+    char::from_digit((10 - sum % 10) % 10, 10).unwrap()
+}
+
+/// Validate a full number's Luhn checksum (last digit is the check digit).
+pub fn luhn_valid(number: &str) -> bool {
+    if number.len() < 2 || !number.bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    let (body, check) = number.split_at(number.len() - 1);
+    luhn_check_digit(body) == check.chars().next().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn luhn_known_values() {
+        // 7992739871 has check digit 3 (classic example).
+        assert_eq!(luhn_check_digit("7992739871"), '3');
+        assert!(luhn_valid("79927398713"));
+        assert!(!luhn_valid("79927398710"));
+        assert!(!luhn_valid(""));
+        assert!(!luhn_valid("7"));
+        assert!(!luhn_valid("79a27398713"));
+    }
+
+    #[test]
+    fn generated_identifiers_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let d = DeviceProfile::generate(&mut rng);
+            assert_eq!(d.imei.len(), 15);
+            assert!(luhn_valid(&d.imei), "imei {}", d.imei);
+            assert_eq!(d.imsi.len(), 15);
+            assert!(d.imsi.starts_with("440"));
+            assert_eq!(d.android_id.len(), 16);
+            assert!(d.android_id.bytes().all(|b| b.is_ascii_hexdigit()));
+            assert_eq!(d.sim_serial.len(), 19);
+            assert!(luhn_valid(&d.sim_serial), "iccid {}", d.sim_serial);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DeviceProfile::generate(&mut StdRng::seed_from_u64(42));
+        let b = DeviceProfile::generate(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn values_hash_consistently() {
+        let d = DeviceProfile::generate(&mut StdRng::seed_from_u64(1));
+        assert_eq!(d.value(SensitiveKind::ImeiMd5), md5_hex(d.imei.as_bytes()));
+        assert_eq!(
+            d.value(SensitiveKind::AndroidIdSha1),
+            sha1_hex(d.android_id.as_bytes())
+        );
+        assert_eq!(d.value(SensitiveKind::Carrier), d.carrier.name());
+        assert_eq!(d.all_values().len(), 9);
+    }
+
+    #[test]
+    fn phone_state_gating() {
+        assert!(SensitiveKind::Imei.needs_phone_state());
+        assert!(SensitiveKind::SimSerial.needs_phone_state());
+        assert!(!SensitiveKind::AndroidId.needs_phone_state());
+        assert!(!SensitiveKind::AndroidIdMd5.needs_phone_state());
+        assert!(!SensitiveKind::Carrier.needs_phone_state());
+    }
+
+    #[test]
+    fn labels_match_table_iii() {
+        assert_eq!(SensitiveKind::AndroidIdMd5.label(), "ANDROID ID MD5");
+        assert_eq!(SensitiveKind::Imei.label(), "IMEI (Device ID)");
+        assert_eq!(SensitiveKind::ALL.len(), 9);
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! Synthetic Android-market traffic for `leaksig`.
+//!
+//! The paper's evaluation dataset — network captures of 1,188 free Google
+//! Play Japan applications on one Galaxy Nexus S, 107,859 HTTP packets of
+//! which 23,309 carry sensitive identifiers — is a proprietary one-off
+//! that cannot be re-collected (the device, the market snapshot, and most
+//! of the 2012 ad networks are gone). This crate is the substitution
+//! documented in DESIGN.md §2: a seeded generator whose output matches the
+//! published marginals of every table and figure:
+//!
+//! * **Table I** — permission-combination counts (exact by construction);
+//! * **Table II** — packets and apps per top destination (exact quotas);
+//! * **Table III** — sensitive-information packets/apps/destinations per
+//!   kind (calibrated within a few percent);
+//! * **Fig. 2** — destinations-per-app distribution (tuned lognormal).
+//!
+//! Structure: [`plan`] declares the published constants, the market
+//! planner assigns apps/groups/destinations ([`MarketModel`]), templates
+//! render per-domain request shapes ([`DomainTemplate`]), the trace layer
+//! emits the labeled packet capture ([`Dataset`]), and [`stats`]
+//! recomputes the tables from a generated dataset.
+//!
+//! ```
+//! use leaksig_netsim::{Dataset, MarketConfig};
+//!
+//! let data = Dataset::generate(MarketConfig::scaled(42, 0.02));
+//! assert!(data.sensitive_count() > 0);
+//! let dist = leaksig_netsim::stats::destination_distribution(&data);
+//! assert!(dist.mean > 1.0);
+//! ```
+
+mod device;
+mod market;
+mod names;
+pub mod obfuscate;
+mod orgs;
+mod permissions;
+pub mod plan;
+pub mod scenario;
+pub mod stats;
+mod template;
+mod trace;
+
+pub use device::{luhn_check_digit, luhn_valid, Carrier, DeviceProfile, SensitiveKind};
+pub use market::{AppSpec, DomainModel, MarketConfig, MarketModel};
+pub use orgs::OrgRegistry;
+pub use permissions::{table_i_rows, Permission, PermissionRow, PermissionSet, TOTAL_APPS};
+pub use scenario::{obfuscation_scenario, ObfLabel, ObfuscationScenario};
+pub use template::{AppCtx, DomainTemplate, DEVICE_UA};
+pub use trace::{Dataset, LabeledPacket};

@@ -1,0 +1,128 @@
+//! Deterministic name synthesis for apps, packages, and long-tail hosts.
+
+use rand::{Rng, RngExt};
+
+const SYLLABLES: &[&str] = &[
+    "mo", "bi", "ka", "ri", "to", "na", "su", "ha", "ze", "ko", "ya", "mi", "ta", "ren", "go",
+    "shi", "ku", "ma", "po", "do", "ne", "ki", "ra", "wa", "fu", "sa", "te", "yu", "no", "ba",
+];
+
+const GENRES: &[&str] = &[
+    "game",
+    "puzzle",
+    "news",
+    "camera",
+    "weather",
+    "comic",
+    "recipe",
+    "train",
+    "chat",
+    "music",
+    "novel",
+    "quiz",
+    "wallpaper",
+    "battery",
+    "memo",
+    "coupon",
+    "radio",
+    "map",
+    "diary",
+    "alarm",
+];
+
+const AD_PREFIXES: &[&str] = &[
+    "ads", "ad", "adsv", "imp", "bid", "track", "sdk", "mobile", "ssp", "net", "cnt", "beacon",
+    "deliver", "cl", "banner", "media",
+];
+
+const AD_TLDS: &[&str] = &[".jp", ".com", ".net", ".info", ".mobi", ".co.jp", ".asia"];
+
+/// A pronounceable lowercase word of `syllables` syllables.
+pub fn word<R: Rng + ?Sized>(rng: &mut R, syllables: usize) -> String {
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push_str(SYLLABLES[rng.random_range(0..SYLLABLES.len())]);
+    }
+    w
+}
+
+/// An app display name, e.g. `"mobika puzzle"`.
+pub fn app_name<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let syllables = 2 + rng.random_range(0..2u8) as usize;
+    format!(
+        "{} {}",
+        word(rng, syllables),
+        GENRES[rng.random_range(0..GENRES.len())]
+    )
+}
+
+/// A package id, e.g. `"jp.co.mobika.puzzle"`.
+pub fn package_name<R: Rng + ?Sized>(rng: &mut R, display: &str) -> String {
+    let mut parts = display.split(' ');
+    let vendor = parts.next().unwrap_or("app");
+    let genre = parts.next().unwrap_or("main");
+    if rng.random_bool(0.6) {
+        format!("jp.co.{vendor}.{genre}")
+    } else {
+        format!("com.{vendor}.{genre}")
+    }
+}
+
+/// A minor ad-network hostname, e.g. `"imp.karibato.mobi"`.
+pub fn ad_host<R: Rng + ?Sized>(rng: &mut R) -> String {
+    format!(
+        "{}.{}{}",
+        AD_PREFIXES[rng.random_range(0..AD_PREFIXES.len())],
+        word(rng, 3),
+        AD_TLDS[rng.random_range(0..AD_TLDS.len())]
+    )
+}
+
+/// A filler content/API hostname tied to an app's vendor word.
+pub fn filler_host<R: Rng + ?Sized>(rng: &mut R, vendor: &str) -> String {
+    const KINDS: &[&str] = &["api", "img", "cdn", "static", "app", "dl", "news", "sync"];
+    let kind = KINDS[rng.random_range(0..KINDS.len())];
+    if rng.random_bool(0.7) {
+        format!("{kind}.{vendor}.jp")
+    } else {
+        format!("{kind}.{}.com", word(rng, 3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(app_name(&mut a), app_name(&mut b));
+        assert_eq!(ad_host(&mut a), ad_host(&mut b));
+    }
+
+    #[test]
+    fn package_names_are_dotted() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let name = app_name(&mut rng);
+        let pkg = package_name(&mut rng, &name);
+        assert!(pkg.split('.').count() >= 3, "{pkg}");
+        assert!(pkg.is_ascii());
+    }
+
+    #[test]
+    fn hosts_look_like_fqdns() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..30 {
+            let h = ad_host(&mut rng);
+            assert!(h.contains('.'), "{h}");
+            assert!(h
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b == b'.' || b.is_ascii_digit()));
+            let f = filler_host(&mut rng, "mobika");
+            assert!(f.contains('.'), "{f}");
+        }
+    }
+}

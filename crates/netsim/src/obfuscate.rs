@@ -1,0 +1,168 @@
+//! Identifier obfuscation transforms (§IV / §VI scenarios).
+//!
+//! The paper claims signature generation "can help to counteract leakage
+//! in polymorphic and obfuscation traffic ... if an advertisement module
+//! uses one encryption key among applications or applies a cryptographic
+//! hash function to sensitive information, our approach can detect it."
+//! The crucial property is *constancy*: whatever the transform, a module
+//! that applies the same function (and key) everywhere emits the same
+//! ciphertext for the same identifier, which is exactly what invariant-
+//! token extraction captures.
+//!
+//! Two era-typical transforms beyond the MD5/SHA-1 the dataset already
+//! carries:
+//!
+//! * [`base64`] — plain encoding, reversible by anyone; the payload check
+//!   can pre-compute it for every known identifier (like it pre-computes
+//!   digests).
+//! * [`xor_hex`] — a fixed-key XOR "cipher" (real 2012 SDKs shipped
+//!   exactly this); the payload check cannot recognise it without the
+//!   key, which is the scenario where only the clustering route works.
+
+/// Standard-alphabet base64, with `=` padding (RFC 4648 §4).
+pub fn base64(data: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
+        let quad = [
+            ALPHABET[(n >> 18) as usize & 63],
+            ALPHABET[(n >> 12) as usize & 63],
+            ALPHABET[(n >> 6) as usize & 63],
+            ALPHABET[n as usize & 63],
+        ];
+        let keep = chunk.len() + 1;
+        for (i, &c) in quad.iter().enumerate() {
+            out.push(if i < keep { c as char } else { '=' });
+        }
+    }
+    out
+}
+
+/// Decode standard base64 (strict: correct padding required).
+pub fn base64_decode(s: &str) -> Option<Vec<u8>> {
+    fn val(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some((c - b'A') as u32),
+            b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (qi, quad) in bytes.chunks_exact(4).enumerate() {
+        let is_last = qi == bytes.len() / 4 - 1;
+        let pad = quad.iter().filter(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && !is_last) || (pad >= 1 && quad[3] != b'=') {
+            return None;
+        }
+        if pad == 2 && quad[2] != b'=' {
+            return None;
+        }
+        let mut n = 0u32;
+        for &c in &quad[..4 - pad] {
+            n = (n << 6) | val(c)?;
+        }
+        n <<= 6 * pad as u32;
+        let full = [(n >> 16) as u8, (n >> 8) as u8, n as u8];
+        out.extend_from_slice(&full[..3 - pad]);
+    }
+    Some(out)
+}
+
+/// Fixed-key repeating XOR, hex-encoded — the "one encryption key among
+/// applications" scenario. Deterministic: same key + same identifier ⇒
+/// same ciphertext string in every packet.
+pub fn xor_hex(key: &[u8], data: &[u8]) -> String {
+    assert!(!key.is_empty(), "xor key must be nonempty");
+    let mut out = String::with_capacity(data.len() * 2);
+    for (i, &b) in data.iter().enumerate() {
+        let x = b ^ key[i % key.len()];
+        out.push(char::from_digit((x >> 4) as u32, 16).unwrap());
+        out.push(char::from_digit((x & 0xf) as u32, 16).unwrap());
+    }
+    out
+}
+
+/// Invert [`xor_hex`].
+pub fn xor_hex_decode(key: &[u8], s: &str) -> Option<Vec<u8>> {
+    let raw = leaksig_hash::decode_hex(s).ok()?;
+    Some(
+        raw.iter()
+            .enumerate()
+            .map(|(i, &b)| b ^ key[i % key.len()])
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_rfc_vectors() {
+        // RFC 4648 §10 test vectors.
+        assert_eq!(base64(b""), "");
+        assert_eq!(base64(b"f"), "Zg==");
+        assert_eq!(base64(b"fo"), "Zm8=");
+        assert_eq!(base64(b"foo"), "Zm9v");
+        assert_eq!(base64(b"foob"), "Zm9vYg==");
+        assert_eq!(base64(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn base64_round_trip() {
+        for len in 0..40usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
+            assert_eq!(
+                base64_decode(&base64(&data)).expect("decode"),
+                data,
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn base64_decode_rejects_garbage() {
+        assert_eq!(base64_decode("abc"), None); // bad length
+        assert_eq!(base64_decode("a=bc"), None); // pad mid-quad
+        assert_eq!(base64_decode("ab=c"), None); // pad then data
+        assert_eq!(base64_decode("ab!d"), None); // bad alphabet
+        assert_eq!(base64_decode("===="), None);
+    }
+
+    #[test]
+    fn xor_is_deterministic_and_reversible() {
+        let key = b"k3y!";
+        let imei = b"355195000000017";
+        let a = xor_hex(key, imei);
+        let b = xor_hex(key, imei);
+        assert_eq!(a, b, "same key + data must give identical ciphertext");
+        assert_eq!(xor_hex_decode(key, &a).unwrap(), imei);
+        // Different key, different ciphertext.
+        assert_ne!(xor_hex(b"other", imei), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_key_rejected() {
+        let _ = xor_hex(b"", b"data");
+    }
+
+    #[test]
+    fn xor_decode_rejects_bad_hex() {
+        assert_eq!(xor_hex_decode(b"k", "zz"), None);
+    }
+}

@@ -1,0 +1,203 @@
+//! The Android permission model fragment the paper analyses (Table I).
+
+use std::fmt;
+
+/// The four permissions the paper's Table I tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Permission {
+    /// android.permission.INTERNET.
+    Internet,
+    /// Location access (fine or coarse).
+    Location,
+    /// android.permission.READ_PHONE_STATE.
+    ReadPhoneState,
+    /// android.permission.READ_CONTACTS.
+    ReadContacts,
+}
+
+impl Permission {
+    const ALL: [Permission; 4] = [
+        Permission::Internet,
+        Permission::Location,
+        Permission::ReadPhoneState,
+        Permission::ReadContacts,
+    ];
+
+    fn bit(self) -> u8 {
+        match self {
+            Permission::Internet => 1 << 0,
+            Permission::Location => 1 << 1,
+            Permission::ReadPhoneState => 1 << 2,
+            Permission::ReadContacts => 1 << 3,
+        }
+    }
+
+    /// The manifest constant name.
+    pub fn manifest_name(self) -> &'static str {
+        match self {
+            Permission::Internet => "INTERNET",
+            Permission::Location => "ACCESS_FINE_LOCATION",
+            Permission::ReadPhoneState => "READ_PHONE_STATE",
+            Permission::ReadContacts => "READ_CONTACTS",
+        }
+    }
+}
+
+/// A set of [`Permission`]s (bitset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PermissionSet(u8);
+
+impl PermissionSet {
+    /// The empty set.
+    pub const EMPTY: PermissionSet = PermissionSet(0);
+
+    /// Build from a list.
+    pub fn of(perms: &[Permission]) -> Self {
+        PermissionSet(perms.iter().fold(0, |acc, p| acc | p.bit()))
+    }
+
+    /// Set membership.
+    pub fn has(self, p: Permission) -> bool {
+        self.0 & p.bit() != 0
+    }
+
+    /// Add a permission.
+    pub fn with(self, p: Permission) -> Self {
+        PermissionSet(self.0 | p.bit())
+    }
+
+    /// Number of permissions held.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when no permission is held.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The paper's "dangerous combination": network access plus at least
+    /// one sensitive-information permission.
+    pub fn is_dangerous_combination(self) -> bool {
+        self.has(Permission::Internet)
+            && (self.has(Permission::Location)
+                || self.has(Permission::ReadPhoneState)
+                || self.has(Permission::ReadContacts))
+    }
+
+    /// Iterate over members in declaration order.
+    pub fn iter(self) -> impl Iterator<Item = Permission> {
+        Permission::ALL.into_iter().filter(move |p| self.has(*p))
+    }
+}
+
+impl fmt::Display for PermissionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.iter().map(|p| p.manifest_name()).collect();
+        write!(f, "{{{}}}", names.join(", "))
+    }
+}
+
+/// One row of Table I: a permission combination and how many of the 1,188
+/// apps request it.
+#[derive(Debug, Clone, Copy)]
+pub struct PermissionRow {
+    /// Permission combination.
+    pub set: PermissionSet,
+    /// Distinct applications observed.
+    pub apps: usize,
+}
+
+/// Table I as printed. The five rows sum to 955 of 1,188; the market
+/// planner models the remaining 233 apps as 74 with INTERNET+CONTACTS (a
+/// combination the table does not break out) and 159 with INTERNET plus
+/// untracked permissions, which reconciles the paper's 25%/61% prose
+/// claims exactly (see DESIGN.md and the Table I row in EXPERIMENTS.md).
+pub fn table_i_rows() -> Vec<PermissionRow> {
+    use Permission::*;
+    vec![
+        PermissionRow {
+            set: PermissionSet::of(&[Internet]),
+            apps: 302,
+        },
+        PermissionRow {
+            set: PermissionSet::of(&[Internet, Location]),
+            apps: 329,
+        },
+        PermissionRow {
+            set: PermissionSet::of(&[Internet, Location, ReadPhoneState]),
+            apps: 153,
+        },
+        PermissionRow {
+            set: PermissionSet::of(&[Internet, ReadPhoneState]),
+            apps: 148,
+        },
+        PermissionRow {
+            set: PermissionSet::of(&[Internet, Location, ReadPhoneState, ReadContacts]),
+            apps: 23,
+        },
+    ]
+}
+
+/// Total apps in the study.
+pub const TOTAL_APPS: usize = 1188;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Permission::*;
+
+    #[test]
+    fn set_operations() {
+        let s = PermissionSet::of(&[Internet, ReadPhoneState]);
+        assert!(s.has(Internet));
+        assert!(s.has(ReadPhoneState));
+        assert!(!s.has(Location));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(PermissionSet::EMPTY.is_empty());
+        let s2 = s.with(Location);
+        assert!(s2.has(Location));
+        assert_eq!(s2.len(), 3);
+    }
+
+    #[test]
+    fn dangerous_combination_definition() {
+        assert!(!PermissionSet::of(&[Internet]).is_dangerous_combination());
+        assert!(PermissionSet::of(&[Internet, Location]).is_dangerous_combination());
+        assert!(PermissionSet::of(&[Internet, ReadContacts]).is_dangerous_combination());
+        // Sensitive access without network is not a leak channel.
+        assert!(!PermissionSet::of(&[ReadPhoneState]).is_dangerous_combination());
+        assert!(!PermissionSet::EMPTY.is_dangerous_combination());
+    }
+
+    #[test]
+    fn table_i_counts() {
+        let rows = table_i_rows();
+        assert_eq!(rows.len(), 5);
+        let total: usize = rows.iter().map(|r| r.apps).sum();
+        assert_eq!(total, 955);
+        assert!(total <= TOTAL_APPS);
+        // The four dangerous rows.
+        let dangerous: usize = rows
+            .iter()
+            .filter(|r| r.set.is_dangerous_combination())
+            .map(|r| r.apps)
+            .sum();
+        assert_eq!(dangerous, 329 + 153 + 148 + 23);
+    }
+
+    #[test]
+    fn display_formats_names() {
+        let s = PermissionSet::of(&[Internet, Location]);
+        assert_eq!(s.to_string(), "{INTERNET, ACCESS_FINE_LOCATION}");
+        assert_eq!(PermissionSet::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn iter_order_is_stable() {
+        let s = PermissionSet::of(&[ReadContacts, Internet]);
+        let v: Vec<Permission> = s.iter().collect();
+        assert_eq!(v, vec![Internet, ReadContacts]);
+    }
+}

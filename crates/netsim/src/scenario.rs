@@ -1,0 +1,197 @@
+//! Focused scenario generators beyond the paper-scale market.
+//!
+//! [`obfuscation_scenario`] builds the §IV/§VI "polymorphic and
+//! obfuscation traffic" experiment: three leaking modules that transmit
+//! the same identifiers in the clear, base64-encoded, and XOR-encrypted
+//! under one fixed key, plus benign background traffic. The `obfuscation`
+//! bench binary and integration tests evaluate which detection route
+//! (payload check with derived needles vs. clustering + signatures)
+//! covers which class.
+
+use crate::device::DeviceProfile;
+use crate::names;
+use crate::obfuscate::{base64, xor_hex};
+use leaksig_http::{HttpPacket, RequestBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use std::net::Ipv4Addr;
+
+/// Ground-truth class of a scenario packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObfLabel {
+    /// IMEI transmitted in the clear.
+    CleartextLeak,
+    /// IMEI transmitted base64-encoded.
+    Base64Leak,
+    /// Android ID transmitted XOR-encrypted under the module's fixed key.
+    XorLeak,
+    /// No sensitive content.
+    Benign,
+}
+
+/// The generated scenario.
+#[derive(Debug, Clone)]
+pub struct ObfuscationScenario {
+    /// The capture device’s identity.
+    pub device: DeviceProfile,
+    /// Packets in shuffled capture order.
+    pub packets: Vec<(HttpPacket, ObfLabel)>,
+    /// The XOR module's key (known to the generator; *not* given to the
+    /// payload check — that is the point of the experiment).
+    pub xor_key: Vec<u8>,
+}
+
+impl ObfuscationScenario {
+    /// Packets of one class.
+    pub fn of(&self, label: ObfLabel) -> Vec<&HttpPacket> {
+        self.packets
+            .iter()
+            .filter(|(_, l)| *l == label)
+            .map(|(p, _)| p)
+            .collect()
+    }
+}
+
+/// Build the scenario: ~25 apps per leaking module, 6–14 packets per
+/// (app, module), roughly as much benign traffic as leaking.
+pub fn obfuscation_scenario(seed: u64) -> ObfuscationScenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0bf5);
+    let device = DeviceProfile::generate(&mut rng);
+    let xor_key = b"s3cr3tK".to_vec();
+
+    let imei_b64 = base64(device.imei.as_bytes());
+    let aid_xor = xor_hex(&xor_key, device.android_id.as_bytes());
+
+    let mut apps: Vec<(String, String)> = Vec::new();
+    for _ in 0..60 {
+        let name = names::app_name(&mut rng);
+        let pkg = names::package_name(&mut rng, &name);
+        apps.push((name, pkg));
+    }
+
+    let mut packets: Vec<(HttpPacket, ObfLabel)> = Vec::new();
+    let clear_ip = Ipv4Addr::new(203, 0, 113, 21);
+    let b64_ip = Ipv4Addr::new(198, 51, 100, 22);
+    let xor_ip = Ipv4Addr::new(210, 4, 8, 23);
+
+    for (ai, (_, pkg)) in apps.iter().enumerate() {
+        let bursts = |rng: &mut StdRng| rng.random_range(6..=14usize);
+
+        // Module 1: cleartext IMEI (apps 0..25).
+        if ai < 25 {
+            for _ in 0..bursts(&mut rng) {
+                let p = RequestBuilder::get("/ad")
+                    .query("imei", &device.imei)
+                    .query("app", pkg)
+                    .query("slot", &rng.random_range(1..9u8).to_string())
+                    .destination(clear_ip, 80, "plainads.example.jp")
+                    .build();
+                packets.push((p, ObfLabel::CleartextLeak));
+            }
+        }
+        // Module 2: base64 IMEI (apps 18..43 — overlaps module 1).
+        if (18..43).contains(&ai) {
+            for _ in 0..bursts(&mut rng) {
+                let p = RequestBuilder::get("/track")
+                    .query("u", &imei_b64)
+                    .query("app", pkg)
+                    .query("z", &format!("{:06x}", rng.random::<u32>() & 0xff_ffff))
+                    .destination(b64_ip, 80, "b64ads.example.net")
+                    .build();
+                packets.push((p, ObfLabel::Base64Leak));
+            }
+        }
+        // Module 3: XOR-encrypted Android ID (apps 35..60).
+        if ai >= 35 {
+            for _ in 0..bursts(&mut rng) {
+                let p = RequestBuilder::post("/i")
+                    .form("d", &aid_xor)
+                    .form("an", pkg)
+                    .form("n", &rng.random_range(1..500u16).to_string())
+                    .destination(xor_ip, 80, "cipherads.example.com")
+                    .build();
+                packets.push((p, ObfLabel::XorLeak));
+            }
+        }
+        // Benign background for every app.
+        for _ in 0..bursts(&mut rng) {
+            let vendor = pkg.split('.').nth(2).unwrap_or("app");
+            let p = RequestBuilder::get("/api/v1/items")
+                .query("page", &rng.random_range(1..40u8).to_string())
+                .query("r", &format!("{:08x}", rng.random::<u32>()))
+                .destination(
+                    Ipv4Addr::new(61, 10, (ai % 13) as u8, 9),
+                    80,
+                    &format!("api.{vendor}.jp"),
+                )
+                .build();
+            packets.push((p, ObfLabel::Benign));
+        }
+    }
+    packets.shuffle(&mut rng);
+    ObfuscationScenario {
+        device,
+        packets,
+        xor_key,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obfuscate::xor_hex_decode;
+
+    #[test]
+    fn scenario_has_all_classes() {
+        let s = obfuscation_scenario(3);
+        for label in [
+            ObfLabel::CleartextLeak,
+            ObfLabel::Base64Leak,
+            ObfLabel::XorLeak,
+            ObfLabel::Benign,
+        ] {
+            assert!(
+                s.of(label).len() >= 50,
+                "class {label:?} has only {} packets",
+                s.of(label).len()
+            );
+        }
+    }
+
+    #[test]
+    fn xor_packets_carry_recoverable_ciphertext() {
+        let s = obfuscation_scenario(3);
+        let cipher = xor_hex(&s.xor_key, s.device.android_id.as_bytes());
+        for p in s.of(ObfLabel::XorLeak).iter().take(20) {
+            let body = String::from_utf8_lossy(&p.body).into_owned();
+            assert!(body.contains(&cipher), "ciphertext missing: {body}");
+        }
+        assert_eq!(
+            xor_hex_decode(&s.xor_key, &cipher).unwrap(),
+            s.device.android_id.as_bytes()
+        );
+    }
+
+    #[test]
+    fn benign_packets_never_contain_identifiers_in_any_form() {
+        let s = obfuscation_scenario(3);
+        let cipher = xor_hex(&s.xor_key, s.device.android_id.as_bytes());
+        let b64 = crate::obfuscate::base64(s.device.imei.as_bytes());
+        for p in s.of(ObfLabel::Benign).iter().take(200) {
+            let wire = String::from_utf8_lossy(&p.to_bytes()).into_owned();
+            assert!(!wire.contains(&s.device.imei));
+            assert!(!wire.contains(&cipher));
+            assert!(!wire.contains(&b64));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = obfuscation_scenario(5);
+        let b = obfuscation_scenario(5);
+        assert_eq!(a.packets.len(), b.packets.len());
+        assert_eq!(a.device, b.device);
+        assert_eq!(a.packets[0].0, b.packets[0].0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Dataset summaries mirroring the paper's tables and figures.
+
+use crate::device::SensitiveKind;
+use crate::trace::Dataset;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Aggregate row for one destination base domain (Table II shape).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainStat {
+    /// Destination base domain.
+    pub domain: String,
+    /// Packet count.
+    pub packets: usize,
+    /// Distinct applications observed.
+    pub apps: usize,
+}
+
+/// Aggregate row for one sensitive kind (Table III shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindStat {
+    /// The sensitive-information type.
+    pub kind: SensitiveKind,
+    /// Packet count.
+    pub packets: usize,
+    /// Distinct applications observed.
+    pub apps: usize,
+    /// Distinct destination domains.
+    pub destinations: usize,
+}
+
+/// Packets and distinct apps per destination base domain, sorted by app
+/// count descending (Table II's ordering), then packets.
+pub fn per_domain(dataset: &Dataset) -> Vec<DomainStat> {
+    let mut packets: HashMap<&str, usize> = HashMap::new();
+    let mut apps: HashMap<&str, BTreeSet<usize>> = HashMap::new();
+    for p in &dataset.packets {
+        let base = p.packet.destination.base_domain();
+        *packets.entry(base).or_default() += 1;
+        apps.entry(base).or_default().insert(p.app);
+    }
+    let mut out: Vec<DomainStat> = packets
+        .into_iter()
+        .map(|(domain, pkts)| DomainStat {
+            packets: pkts,
+            apps: apps[domain].len(),
+            domain: domain.to_string(),
+        })
+        .collect();
+    out.sort_by(|a, b| b.apps.cmp(&a.apps).then(b.packets.cmp(&a.packets)));
+    out
+}
+
+/// Per-kind packet/app/destination counts from ground-truth labels
+/// (Table III shape), in Table III row order.
+pub fn per_kind(dataset: &Dataset) -> Vec<KindStat> {
+    let mut packets: BTreeMap<SensitiveKind, usize> = BTreeMap::new();
+    let mut apps: BTreeMap<SensitiveKind, BTreeSet<usize>> = BTreeMap::new();
+    let mut dests: BTreeMap<SensitiveKind, BTreeSet<String>> = BTreeMap::new();
+    for p in &dataset.packets {
+        for &k in &p.truth {
+            *packets.entry(k).or_default() += 1;
+            apps.entry(k).or_default().insert(p.app);
+            dests
+                .entry(k)
+                .or_default()
+                .insert(p.packet.destination.base_domain().to_string());
+        }
+    }
+    SensitiveKind::ALL
+        .iter()
+        .map(|&kind| KindStat {
+            kind,
+            packets: packets.get(&kind).copied().unwrap_or(0),
+            apps: apps.get(&kind).map(|s| s.len()).unwrap_or(0),
+            destinations: dests.get(&kind).map(|s| s.len()).unwrap_or(0),
+        })
+        .collect()
+}
+
+/// Distinct destination hosts contacted per app (Fig. 2's variable).
+pub fn destinations_per_app(dataset: &Dataset) -> Vec<usize> {
+    let mut sets: Vec<BTreeSet<&str>> = vec![BTreeSet::new(); dataset.model.apps.len()];
+    for p in &dataset.packets {
+        sets[p.app].insert(p.packet.destination.host.as_str());
+    }
+    sets.into_iter().map(|s| s.len()).collect()
+}
+
+/// Cumulative-distribution summary of destinations per app.
+#[derive(Debug, Clone, Copy)]
+pub struct DestinationDistribution {
+    /// Distinct applications observed.
+    pub apps: usize,
+    /// Apps contacting exactly one destination.
+    pub exactly_one: usize,
+    /// Apps contacting at most ten destinations.
+    pub at_most_10: usize,
+    /// Apps contacting at most sixteen destinations.
+    pub at_most_16: usize,
+    /// Mean destinations per app.
+    pub mean: f64,
+    /// Maximum destinations for one app.
+    pub max: usize,
+}
+
+/// Fig. 2 summary statistics.
+pub fn destination_distribution(dataset: &Dataset) -> DestinationDistribution {
+    let counts = destinations_per_app(dataset);
+    let apps = counts.len();
+    DestinationDistribution {
+        apps,
+        exactly_one: counts.iter().filter(|&&c| c == 1).count(),
+        at_most_10: counts.iter().filter(|&&c| c <= 10).count(),
+        at_most_16: counts.iter().filter(|&&c| c <= 16).count(),
+        mean: counts.iter().sum::<usize>() as f64 / apps.max(1) as f64,
+        max: counts.iter().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::MarketConfig;
+
+    fn dataset() -> Dataset {
+        Dataset::generate(MarketConfig::scaled(21, 0.08))
+    }
+
+    #[test]
+    fn per_domain_totals_add_up() {
+        let d = dataset();
+        let stats = per_domain(&d);
+        let total: usize = stats.iter().map(|s| s.packets).sum();
+        assert_eq!(total, d.packets.len());
+        // Sorted by app count descending.
+        for w in stats.windows(2) {
+            assert!(w[0].apps >= w[1].apps);
+        }
+    }
+
+    #[test]
+    fn listed_majors_present() {
+        let d = dataset();
+        let stats = per_domain(&d);
+        let find = |name: &str| stats.iter().find(|s| s.domain == name);
+        for host in ["doubleclick.net", "admob.com", "ad-maker.info"] {
+            assert!(find(host).is_some(), "{host} missing");
+        }
+    }
+
+    #[test]
+    fn per_kind_covers_all_rows() {
+        let d = dataset();
+        let stats = per_kind(&d);
+        assert_eq!(stats.len(), 9);
+        for s in &stats {
+            assert!(s.packets > 0, "{:?} produced no packets", s.kind);
+            assert!(s.apps > 0);
+            assert!(s.destinations > 0);
+            assert!(s.apps <= d.model.apps.len());
+        }
+    }
+
+    #[test]
+    fn kind_packet_ordering_roughly_tracks_table_iii() {
+        // MD5 Android ID should dominate; SIM serial should be smallest-ish.
+        let d = dataset();
+        let stats = per_kind(&d);
+        let get = |k: SensitiveKind| stats.iter().find(|s| s.kind == k).unwrap().packets;
+        assert!(get(SensitiveKind::AndroidIdMd5) > get(SensitiveKind::SimSerial));
+        assert!(get(SensitiveKind::AndroidId) > get(SensitiveKind::ImeiMd5));
+    }
+
+    #[test]
+    fn destination_distribution_is_sane() {
+        let d = dataset();
+        let dist = destination_distribution(&d);
+        assert_eq!(dist.apps, d.model.apps.len());
+        assert!(dist.mean >= 1.0);
+        assert!(dist.max >= 3);
+        assert!(dist.exactly_one <= dist.at_most_10);
+        assert!(dist.at_most_10 <= dist.at_most_16);
+        assert!(dist.at_most_16 <= dist.apps);
+    }
+}

@@ -1,0 +1,186 @@
+//! Trace generation: render the planned market into labeled HTTP packets.
+
+use crate::device::SensitiveKind;
+use crate::market::{MarketConfig, MarketModel};
+use crate::template::{AppCtx, DomainTemplate};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One captured packet with its ground truth.
+#[derive(Debug, Clone)]
+pub struct LabeledPacket {
+    /// Index into [`MarketModel::apps`].
+    pub app: usize,
+    /// Index into [`MarketModel::domains`].
+    pub domain: usize,
+    /// The packet itself.
+    pub packet: leaksig_http::HttpPacket,
+    /// Sensitive kinds actually present in the packet (sorted).
+    pub truth: Vec<SensitiveKind>,
+}
+
+impl LabeledPacket {
+    /// Whether the packet belongs to the paper's "suspicious group".
+    pub fn is_sensitive(&self) -> bool {
+        !self.truth.is_empty()
+    }
+}
+
+/// A fully generated dataset: the market model plus its packet capture.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The planned market.
+    pub model: MarketModel,
+    /// Packets in (seeded) capture order.
+    pub packets: Vec<LabeledPacket>,
+}
+
+impl Dataset {
+    /// Build the market for `config` and render its full trace.
+    pub fn generate(config: MarketConfig) -> Dataset {
+        let model = MarketModel::build(config);
+        Self::render(model)
+    }
+
+    /// Render packets for an existing model.
+    pub fn render(model: MarketModel) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(model.plan_seed ^ 0x7261_6365);
+        let mut packets = Vec::with_capacity(model.total_packets());
+
+        for (di, d) in model.domains.iter().enumerate() {
+            let template = DomainTemplate::derive(&d.host, d.style, model.plan_seed);
+            for &(app_id, count) in &d.per_app {
+                let app = &model.apps[app_id];
+                let ctx = AppCtx {
+                    package: &app.package,
+                    uuid: &app.uuid,
+                };
+                let mut truth: Vec<SensitiveKind> = d
+                    .leaks
+                    .iter()
+                    .copied()
+                    .filter(|&k| model.app_leaks(app_id, k))
+                    .collect();
+                truth.sort();
+                for _ in 0..count {
+                    let packet = template.render(ctx, &model.device, &truth, d.ip, &mut rng);
+                    packets.push(LabeledPacket {
+                        app: app_id,
+                        domain: di,
+                        packet,
+                        truth: truth.clone(),
+                    });
+                }
+            }
+        }
+        // Interleave like a real capture rather than domain-by-domain.
+        packets.shuffle(&mut rng);
+        Dataset { model, packets }
+    }
+
+    /// Count of packets in the suspicious group.
+    pub fn sensitive_count(&self) -> usize {
+        self.packets.iter().filter(|p| p.is_sensitive()).count()
+    }
+
+    /// Split indices into (suspicious, normal) groups.
+    pub fn split_indices(&self) -> (Vec<usize>, Vec<usize>) {
+        let mut sus = Vec::new();
+        let mut normal = Vec::new();
+        for (i, p) in self.packets.iter().enumerate() {
+            if p.is_sensitive() {
+                sus.push(i);
+            } else {
+                normal.push(i);
+            }
+        }
+        (sus, normal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::generate(MarketConfig::scaled(11, 0.05))
+    }
+
+    #[test]
+    fn packet_count_matches_model() {
+        let d = dataset();
+        assert_eq!(d.packets.len(), d.model.total_packets());
+        assert!(d.packets.len() > 3000, "got {}", d.packets.len());
+    }
+
+    #[test]
+    fn truth_labels_match_wire_content() {
+        let d = dataset();
+        for p in d.packets.iter().take(2000) {
+            let wire = p.packet.to_bytes();
+            let wire_str = String::from_utf8_lossy(&wire).into_owned();
+            for &k in &p.truth {
+                let val = d.model.device.value(k);
+                // Values may be form-encoded (space -> +).
+                let encoded = val.replace(' ', "+");
+                assert!(
+                    wire_str.contains(&val) || wire_str.contains(&encoded),
+                    "{k:?} labeled but {val} not in packet: {wire_str}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unlabeled_packets_carry_no_identifiers() {
+        let d = dataset();
+        let values = d.model.device.all_values();
+        for p in d.packets.iter().filter(|p| !p.is_sensitive()).take(2000) {
+            let wire = String::from_utf8_lossy(&p.packet.to_bytes()).into_owned();
+            for (k, v) in &values {
+                assert!(
+                    !wire.contains(v.as_str()),
+                    "unlabeled packet contains {k:?} ({v}): {wire}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(MarketConfig::scaled(5, 0.03));
+        let b = Dataset::generate(MarketConfig::scaled(5, 0.03));
+        assert_eq!(a.packets.len(), b.packets.len());
+        for (x, y) in a.packets.iter().zip(&b.packets).take(200) {
+            assert_eq!(x.packet, y.packet);
+            assert_eq!(x.truth, y.truth);
+        }
+    }
+
+    #[test]
+    fn sensitive_share_is_plausible() {
+        let d = dataset();
+        let share = d.sensitive_count() as f64 / d.packets.len() as f64;
+        // Paper: 23,309 / 107,859 = 21.6%. Allow slack at small scale.
+        assert!((0.10..=0.35).contains(&share), "sensitive share {share:.3}");
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = dataset();
+        let (sus, normal) = d.split_indices();
+        assert_eq!(sus.len() + normal.len(), d.packets.len());
+        assert!(sus.iter().all(|&i| d.packets[i].is_sensitive()));
+        assert!(normal.iter().all(|&i| !d.packets[i].is_sensitive()));
+    }
+
+    #[test]
+    fn hosts_match_domain_models() {
+        let d = dataset();
+        for p in d.packets.iter().take(500) {
+            assert_eq!(p.packet.destination.host, d.model.domains[p.domain].host);
+            assert_eq!(p.packet.destination.ip, d.model.domains[p.domain].ip);
+        }
+    }
+}

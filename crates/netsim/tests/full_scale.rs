@@ -1,0 +1,84 @@
+//! Paper-scale marginal checks. These regenerate the full 107,859-packet
+//! market (~2 s release, ~20 s debug) and assert the calibration targets
+//! that EXPERIMENTS.md documents. Ignored by default; run with
+//!
+//! ```text
+//! cargo test -p leaksig-netsim --test full_scale --release -- --ignored
+//! ```
+
+use leaksig_netsim::plan::{table_ii_rows, table_iii_targets, SENSITIVE_PACKETS, TOTAL_PACKETS};
+use leaksig_netsim::{stats, Dataset, MarketConfig};
+
+fn dataset() -> Dataset {
+    Dataset::generate(MarketConfig::paper(42))
+}
+
+#[test]
+#[ignore = "paper-scale generation; run with --ignored"]
+fn table_ii_marginals_are_exact() {
+    let data = dataset();
+    assert_eq!(data.packets.len(), TOTAL_PACKETS);
+    let measured = stats::per_domain(&data);
+    for (host, pkts, apps) in table_ii_rows() {
+        let m = measured
+            .iter()
+            .find(|s| s.domain == host)
+            .unwrap_or_else(|| panic!("{host} missing"));
+        assert_eq!(m.packets, pkts, "{host} packets");
+        assert_eq!(m.apps, apps, "{host} apps");
+    }
+}
+
+#[test]
+#[ignore = "paper-scale generation; run with --ignored"]
+fn table_iii_marginals_within_tolerance() {
+    let data = dataset();
+    let measured = stats::per_kind(&data);
+    for (kind, pkts, apps, dests) in table_iii_targets() {
+        let m = measured.iter().find(|s| s.kind == kind).unwrap();
+        let dev = (m.packets as f64 - pkts as f64).abs() / pkts as f64;
+        assert!(
+            dev < 0.20,
+            "{kind:?} packets {} vs {pkts} ({dev:.2})",
+            m.packets
+        );
+        let app_dev = (m.apps as f64 - apps as f64).abs() / apps as f64;
+        assert!(app_dev < 0.20, "{kind:?} apps {} vs {apps}", m.apps);
+        assert!(
+            (m.destinations as i64 - dests as i64).abs() <= 2,
+            "{kind:?} dests {} vs {dests}",
+            m.destinations
+        );
+    }
+    let sensitive = data.sensitive_count();
+    let dev = (sensitive as f64 - SENSITIVE_PACKETS as f64).abs() / SENSITIVE_PACKETS as f64;
+    assert!(
+        dev < 0.05,
+        "sensitive total {sensitive} vs {SENSITIVE_PACKETS}"
+    );
+}
+
+#[test]
+#[ignore = "paper-scale generation; run with --ignored"]
+fn fig2_marginals_within_tolerance() {
+    let data = dataset();
+    let d = stats::destination_distribution(&data);
+    let frac = |n: usize| n as f64 / d.apps as f64;
+    assert!(
+        (frac(d.exactly_one) - 0.07).abs() < 0.025,
+        "1-dest {}",
+        frac(d.exactly_one)
+    );
+    assert!(
+        (frac(d.at_most_10) - 0.74).abs() < 0.05,
+        "<=10 {}",
+        frac(d.at_most_10)
+    );
+    assert!(
+        (frac(d.at_most_16) - 0.90).abs() < 0.05,
+        "<=16 {}",
+        frac(d.at_most_16)
+    );
+    assert!((d.mean - 7.9).abs() < 0.5, "mean {}", d.mean);
+    assert_eq!(d.max, 84);
+}

@@ -1,0 +1,81 @@
+//! Property tests for the market generator and obfuscation codecs.
+
+use leaksig_netsim::obfuscate::{base64, base64_decode, xor_hex, xor_hex_decode};
+use leaksig_netsim::{Dataset, MarketConfig, Permission, SensitiveKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn base64_round_trip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(base64_decode(&base64(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn base64_decode_never_panics(s in "[A-Za-z0-9+/=]{0,64}") {
+        let _ = base64_decode(&s);
+    }
+
+    #[test]
+    fn xor_round_trip(key in proptest::collection::vec(any::<u8>(), 1..16),
+                      data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let c = xor_hex(&key, &data);
+        prop_assert_eq!(xor_hex_decode(&key, &c).unwrap(), data);
+    }
+
+    /// Market invariants hold for arbitrary seeds and scales.
+    #[test]
+    fn market_invariants(seed in 0u64..1000, scale in 0.01f64..0.08) {
+        let data = Dataset::generate(MarketConfig::scaled(seed, scale));
+        let model = &data.model;
+
+        // Every packet's app exists and every labeled kind respects the
+        // permission model.
+        for p in data.packets.iter().take(1500) {
+            prop_assert!(p.app < model.apps.len());
+            let app = &model.apps[p.app];
+            prop_assert!(app.permissions.has(Permission::Internet),
+                "app {} sends traffic without INTERNET", app.package);
+            for &k in &p.truth {
+                if k.needs_phone_state() {
+                    prop_assert!(
+                        app.permissions.has(Permission::ReadPhoneState),
+                        "{k:?} from app without READ_PHONE_STATE"
+                    );
+                }
+            }
+        }
+
+        // Kind groups respect the declared sizes ordering: MD5 Android ID
+        // is always the largest group.
+        let md5 = model.groups[&SensitiveKind::AndroidIdMd5].len();
+        for (&k, members) in &model.groups {
+            if k != SensitiveKind::AndroidIdMd5 {
+                prop_assert!(members.len() <= md5, "{k:?} larger than AidMd5");
+            }
+        }
+
+        // Packet totals scale with the configured fraction (±15%).
+        let want = 107_859.0 * scale;
+        let got = data.packets.len() as f64;
+        prop_assert!((got - want).abs() / want < 0.15,
+            "packets {} vs target {}", got, want);
+    }
+
+    /// The payload-check oracle property holds for every seed: a packet is
+    /// labeled sensitive iff some identifier value appears in its bytes.
+    #[test]
+    fn labels_are_exactly_value_presence(seed in 0u64..500) {
+        let data = Dataset::generate(MarketConfig::scaled(seed, 0.015));
+        let values = data.model.device.all_values();
+        for p in data.packets.iter().take(800) {
+            let wire = p.packet.to_bytes();
+            let wire_str = String::from_utf8_lossy(&wire).into_owned();
+            let present = values.iter().any(|(_, v)| {
+                wire_str.contains(v.as_str()) || wire_str.contains(&v.replace(' ', "+"))
+            });
+            prop_assert_eq!(present, p.is_sensitive());
+        }
+    }
+}

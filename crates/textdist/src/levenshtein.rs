@@ -1,0 +1,149 @@
+//! Levenshtein edit distance (insert/delete/substitute, unit costs).
+
+/// Edit distance between `a` and `b`.
+///
+/// Two-row dynamic program: O(|a|·|b|) time, O(min(|a|,|b|)) space.
+pub fn levenshtein(a: &[u8], b: &[u8]) -> usize {
+    // Keep the shorter string in the inner dimension for less memory.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, &lb) in long.iter().enumerate() {
+        let mut prev_diag = row[0]; // D[i][0]
+        row[0] = i + 1;
+        for (j, &sb) in short.iter().enumerate() {
+            let cost = usize::from(lb != sb);
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[short.len()]
+}
+
+/// Edit distance if it does not exceed `bound`, else `None`.
+///
+/// Uses the banded (Ukkonen) variant: only cells within `bound` of the
+/// diagonal are evaluated, giving O(bound·min(|a|,|b|)) time. Useful when
+/// comparing many host strings against a cutoff.
+pub fn levenshtein_bounded(a: &[u8], b: &[u8], bound: usize) -> Option<usize> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if long.len() - short.len() > bound {
+        return None;
+    }
+    if short.is_empty() {
+        return Some(long.len());
+    }
+
+    const BIG: usize = usize::MAX / 2;
+    let n = short.len();
+    let mut prev = vec![BIG; n + 1];
+    let mut cur = vec![BIG; n + 1];
+    for (j, v) in prev.iter_mut().enumerate().take(bound.min(n) + 1) {
+        *v = j;
+    }
+
+    for i in 1..=long.len() {
+        // Only columns with |i - j| <= bound can hold a value <= bound.
+        let lo = i.saturating_sub(bound);
+        let hi = (i + bound).min(n);
+        // Also reset lo-1 so the left neighbour of the band's first cell
+        // reads BIG (the buffer is recycled across iterations).
+        cur[lo.saturating_sub(1)..=hi].fill(BIG);
+        if lo == 0 {
+            cur[0] = i;
+        }
+        for j in lo.max(1)..=hi {
+            let cost = usize::from(long[i - 1] != short[j - 1]);
+            cur[j] = (prev[j - 1].saturating_add(cost))
+                .min(prev[j].saturating_add(1))
+                .min(cur[j - 1].saturating_add(1));
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (prev[n] <= bound).then_some(prev[n])
+}
+
+/// The paper's normalised host distance:
+/// `ed(a, b) / max(len(a), len(b)) ∈ [0, 1]`, with `0` for two empty
+/// strings.
+pub fn normalized_levenshtein(a: &[u8], b: &[u8]) -> f64 {
+    let m = a.len().max(b.len());
+    if m == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein(b"", b""), 0);
+        assert_eq!(levenshtein(b"", b"abc"), 3);
+        assert_eq!(levenshtein(b"abc", b""), 3);
+        assert_eq!(levenshtein(b"kitten", b"sitting"), 3);
+        assert_eq!(levenshtein(b"flaw", b"lawn"), 2);
+        assert_eq!(levenshtein(b"identical", b"identical"), 0);
+        assert_eq!(levenshtein(b"a", b"b"), 1);
+    }
+
+    #[test]
+    fn symmetric() {
+        let pairs: &[(&[u8], &[u8])] = &[
+            (b"ad-maker.info", b"admob.com"),
+            (b"google.com", b"googlesyndication.com"),
+            (b"", b"nend.net"),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn bounded_agrees_when_within_bound() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"kitten", b"sitting"),
+            (b"ad-maker.info", b"ad-makerr.info"),
+            (b"abc", b"xyz"),
+            (b"", b"abc"),
+        ];
+        for (a, b) in cases {
+            let d = levenshtein(a, b);
+            for bound in d..d + 3 {
+                assert_eq!(
+                    levenshtein_bounded(a, b, bound),
+                    Some(d),
+                    "a={a:?} b={b:?} bound={bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_rejects_when_beyond_bound() {
+        assert_eq!(levenshtein_bounded(b"kitten", b"sitting", 2), None);
+        assert_eq!(levenshtein_bounded(b"abc", b"wxyz", 0), None);
+        assert_eq!(levenshtein_bounded(b"short", b"muchlongerstring", 3), None);
+    }
+
+    #[test]
+    fn bounded_zero_bound_exact_match() {
+        assert_eq!(levenshtein_bounded(b"same", b"same", 0), Some(0));
+        assert_eq!(levenshtein_bounded(b"same", b"sane", 0), None);
+    }
+
+    #[test]
+    fn normalized_range_and_extremes() {
+        assert_eq!(normalized_levenshtein(b"", b""), 0.0);
+        assert_eq!(normalized_levenshtein(b"abc", b"abc"), 0.0);
+        assert_eq!(normalized_levenshtein(b"abc", b"xyz"), 1.0);
+        let d = normalized_levenshtein(b"admob.com", b"amoad.com");
+        assert!(d > 0.0 && d < 1.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! The full deployment loop, end to end and over time: a collection
+//! server ingests live traffic, periodically regenerates signatures, and
+//! a device (with reboot persistence) keeps enforcing.
+//!
+//! ```text
+//! cargo run --release --example collection_server
+//! ```
+
+use leaksig::core::prelude::*;
+use leaksig::device::{
+    decode_store, encode_store, CollectionServer, GateAction, PacketGate, SignatureServer,
+    SignatureStore, UserChoice,
+};
+use leaksig::netsim::{Dataset, MarketConfig, SensitiveKind};
+
+fn main() {
+    let data = Dataset::generate(MarketConfig::scaled(2026, 0.06));
+    let check: PayloadCheck<SensitiveKind> = PayloadCheck::new(data.model.device.all_values());
+
+    let collector = CollectionServer::new(check, PipelineConfig::default(), 500, 1);
+    let publisher = SignatureServer::new();
+    let store = SignatureStore::new();
+
+    // Replay the capture in three epochs; regenerate and sync after each.
+    let epoch = data.packets.len() / 3;
+    for (e, chunk) in data.packets.chunks(epoch.max(1)).enumerate() {
+        for p in chunk {
+            collector.ingest(&p.packet);
+        }
+        if let Some(version) = collector.regenerate(200, &publisher) {
+            store.sync(&publisher).expect("sync");
+            let stats = collector.stats();
+            println!(
+                "epoch {e}: ingested {} (suspicious {}), published v{version} with {} signatures",
+                stats.ingested,
+                stats.suspicious,
+                store.signature_count()
+            );
+        }
+    }
+
+    // Enforce on a fresh slice of traffic with an auto-blocking user.
+    let gate = PacketGate::new(&store);
+    for p in data.packets.iter().take(4000) {
+        let app = &data.model.apps[p.app].package;
+        if let GateAction::PendingPrompt { prompt_id, .. } = gate.intercept(app, &p.packet) {
+            gate.answer(prompt_id, UserChoice::BlockAlways).unwrap();
+        }
+    }
+    let stats = gate.stats();
+    println!(
+        "\ngate over 4000 packets: {} forwarded, {} blocked, {} prompts",
+        stats.forwarded, stats.blocked, stats.prompted
+    );
+
+    // Reboot: persist the store + policy, restore, verify enforcement
+    // continues without re-prompting.
+    let store_snap = encode_store(&store);
+    let policy_snap = gate.export_policy();
+    let store2 = decode_store(&store_snap).expect("restore store");
+    let gate2 = PacketGate::new(&store2);
+    gate2.import_policy(&policy_snap).expect("restore policy");
+
+    let mut reprompted = 0;
+    for p in data.packets.iter().take(4000) {
+        let app = &data.model.apps[p.app].package;
+        if let GateAction::PendingPrompt { prompt_id, .. } = gate2.intercept(app, &p.packet) {
+            reprompted += 1;
+            gate2.answer(prompt_id, UserChoice::BlockAlways).unwrap();
+        }
+    }
+    println!(
+        "after reboot: {} new prompts on the same traffic (decisions persisted), {} blocked",
+        reprompted,
+        gate2.stats().blocked
+    );
+    assert!(
+        reprompted <= stats.prompted / 2,
+        "persistence should eliminate most re-prompts"
+    );
+    println!("\nok");
+}

@@ -1,0 +1,88 @@
+//! # leaksig
+//!
+//! A Rust reproduction of **"Signature Generation for Sensitive
+//! Information Leakage in Android Applications"** (Kuzuno & Tonami,
+//! 2013): clustering of HTTP packets by a combined destination/content
+//! distance, conjunction-signature generation from the resulting
+//! dendrogram, and signature-based detection of identifier leakage — plus
+//! everything the paper's evaluation rests on, rebuilt from scratch
+//! (traffic model, compressors for the NCD, digests, a synthetic Android
+//! market matching the paper's published dataset statistics, and the
+//! on-device enforcement component).
+//!
+//! This crate is a facade: it re-exports the workspace's crates under one
+//! name. Use the sub-crates directly if you only need one layer.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `leaksig-core` | distances, clustering, signatures, detection, evaluation, pipeline |
+//! | [`http`] | `leaksig-http` | HTTP request model, parser, builder |
+//! | [`netsim`] | `leaksig-netsim` | synthetic Android-market traffic generator |
+//! | [`device`] | `leaksig-device` | signature store, policy engine, packet gate |
+//! | [`compress`] | `leaksig-compress` | LZSS/LZW compressors, NCD |
+//! | [`textdist`] | `leaksig-textdist` | edit distance, suffix automaton, token extraction |
+//! | [`hash`] | `leaksig-hash` | MD5, SHA-1, hex |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use leaksig::core::prelude::*;
+//! use leaksig::http::RequestBuilder;
+//! use std::net::Ipv4Addr;
+//!
+//! // Two ad requests leaking the same IMEI.
+//! let mk = |slot: &str| {
+//!     RequestBuilder::get("/getad")
+//!         .query("imei", "355195000000017")
+//!         .query("slot", slot)
+//!         .destination(Ipv4Addr::new(203, 0, 113, 2), 80, "ad-maker.info")
+//!         .build()
+//! };
+//! let (a, b) = (mk("1"), mk("2"));
+//!
+//! // Cluster and generate conjunction signatures, then detect a fresh
+//! // packet from the same module.
+//! let set = generate_signatures(&[&a, &b], &PipelineConfig::default());
+//! let detector = Detector::new(set);
+//! assert!(detector.match_packet(&mk("42")).is_some());
+//! ```
+//!
+//! See `examples/` for the paper-scale workflows and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology.
+
+pub use leaksig_compress as compress;
+pub use leaksig_core as core;
+pub use leaksig_device as device;
+pub use leaksig_hash as hash;
+pub use leaksig_http as http;
+pub use leaksig_netsim as netsim;
+pub use leaksig_textdist as textdist;
+
+/// Adapter giving the synthetic [`netsim::OrgRegistry`] the
+/// [`core::distance::OrgOracle`] interface, for the §VI WHOIS-verified
+/// destination distance.
+///
+/// ```
+/// use leaksig::core::distance::{d_ip, d_ip_verified, DistanceConvention, OrgOracle};
+/// use leaksig::netsim::OrgRegistry;
+/// use leaksig::WhoisOracle;
+///
+/// let mut reg = OrgRegistry::new();
+/// // Two unrelated shops on adjacent shared-hosting addresses.
+/// let a = reg.register("tinyads.example", true);
+/// let b = reg.register("othernet.example", true);
+/// let oracle = WhoisOracle(&reg);
+/// let conv = DistanceConvention::Corrected;
+/// assert!(d_ip(a, b, conv) < 0.5, "raw prefix distance reads as near");
+/// assert_eq!(d_ip_verified(a, b, &oracle, conv), 1.0, "WHOIS says far");
+/// ```
+pub struct WhoisOracle<'a>(pub &'a netsim::OrgRegistry);
+
+impl leaksig_core::distance::OrgOracle for WhoisOracle<'_> {
+    fn same_org(&self, a: std::net::Ipv4Addr, b: std::net::Ipv4Addr) -> Option<bool> {
+        match (self.0.org_of_ip(a), self.0.org_of_ip(b)) {
+            (Some(x), Some(y)) => Some(x == y),
+            _ => None,
+        }
+    }
+}

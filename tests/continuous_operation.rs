@@ -1,0 +1,131 @@
+//! The deployed system end to end, over time: continuous ingest,
+//! periodic signature regeneration, device sync, and reboot survival.
+
+use leaksig::core::prelude::*;
+use leaksig::device::{
+    decode_policy, decode_store, encode_store, CollectionServer, GateAction, PacketGate,
+    SignatureServer, SignatureStore, UserChoice,
+};
+use leaksig::netsim::{Dataset, MarketConfig, SensitiveKind};
+
+#[test]
+fn continuous_ingest_regenerate_sync_loop() {
+    let data = Dataset::generate(MarketConfig::scaled(404, 0.04));
+    let check: PayloadCheck<SensitiveKind> = PayloadCheck::new(data.model.device.all_values());
+
+    let collector = CollectionServer::new(check, PipelineConfig::default(), 400, 9);
+    let publisher = SignatureServer::new();
+    let store = SignatureStore::new();
+
+    // Phase 1: ingest the first half of the capture, regenerate, sync.
+    let half = data.packets.len() / 2;
+    for p in &data.packets[..half] {
+        collector.ingest(&p.packet);
+    }
+    let v1 = collector.regenerate(150, &publisher).expect("signatures");
+    assert_eq!(v1, 1);
+    assert!(store.sync(&publisher).unwrap());
+    let sigs_v1 = store.signature_count();
+    assert!(sigs_v1 > 0);
+
+    // Detection quality on the *unseen* second half: sensitive recall
+    // must be high, benign false alarms low.
+    let (mut tp, mut fns, mut fp, mut tn) = (0usize, 0usize, 0usize, 0usize);
+    for p in &data.packets[half..] {
+        let hit = store.match_packet(&p.packet).is_some();
+        match (p.is_sensitive(), hit) {
+            (true, true) => tp += 1,
+            (true, false) => fns += 1,
+            (false, true) => fp += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    let recall = tp as f64 / (tp + fns).max(1) as f64;
+    let fp_rate = fp as f64 / (fp + tn).max(1) as f64;
+    assert!(recall > 0.75, "recall on unseen traffic {recall:.3}");
+    assert!(fp_rate < 0.05, "fp rate on unseen traffic {fp_rate:.3}");
+
+    // Phase 2: ingest the rest and regenerate — version advances and the
+    // store picks it up.
+    for p in &data.packets[half..] {
+        collector.ingest(&p.packet);
+    }
+    assert_eq!(collector.regenerate(250, &publisher), Some(2));
+    assert!(store.sync(&publisher).unwrap());
+    assert_eq!(store.version(), 2);
+
+    let stats = collector.stats();
+    assert_eq!(stats.ingested as usize, data.packets.len());
+    assert_eq!(stats.regenerations, 2);
+}
+
+#[test]
+fn device_reboot_preserves_signatures_and_decisions() {
+    let data = Dataset::generate(MarketConfig::scaled(505, 0.03));
+    let check: PayloadCheck<SensitiveKind> = PayloadCheck::new(data.model.device.all_values());
+    let suspicious: Vec<&leaksig::http::HttpPacket> = data
+        .packets
+        .iter()
+        .filter(|p| check.is_suspicious(&p.packet))
+        .take(100)
+        .map(|p| &p.packet)
+        .collect();
+
+    let publisher = SignatureServer::new();
+    publisher.publish(&generate_signatures(
+        &suspicious,
+        &PipelineConfig::default(),
+    ));
+    let store = SignatureStore::new();
+    store.sync(&publisher).unwrap();
+
+    // Interact: take the first prompt and block it permanently.
+    let gate = PacketGate::new(&store);
+    let mut blocked_flow: Option<(String, u32)> = None;
+    for p in &data.packets {
+        let app = data.model.apps[p.app].package.clone();
+        if let GateAction::PendingPrompt {
+            prompt_id,
+            signature_id,
+        } = gate.intercept(&app, &p.packet)
+        {
+            gate.answer(prompt_id, UserChoice::BlockAlways).unwrap();
+            blocked_flow = Some((app, signature_id));
+            break;
+        }
+    }
+    let (app, sig) = blocked_flow.expect("some prompt fired");
+
+    // "Reboot": persist, drop everything, restore.
+    let store_snapshot = encode_store(&store);
+    let policy_snapshot = gate.export_policy();
+    drop(gate);
+    drop(store);
+
+    let store2 = decode_store(&store_snapshot).expect("store restores");
+    let gate2 = PacketGate::new(&store2);
+    gate2
+        .import_policy(&policy_snapshot)
+        .expect("policy restores");
+
+    // The remembered block applies without a new prompt.
+    let replay = data
+        .packets
+        .iter()
+        .find(|p| {
+            data.model.apps[p.app].package == app
+                && store2
+                    .match_packet(&p.packet)
+                    .is_some_and(|d| d.signature_id == sig)
+        })
+        .expect("matching packet exists");
+    assert_eq!(
+        gate2.intercept(&app, &replay.packet),
+        GateAction::Blocked { signature_id: sig },
+        "restored policy must block without prompting"
+    );
+
+    // Restored policy snapshot agrees with a direct decode.
+    let policy = decode_policy(&policy_snapshot).unwrap();
+    assert_eq!(policy.remembered_count(), 1);
+}

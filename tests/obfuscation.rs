@@ -1,0 +1,87 @@
+//! Integration: the §IV/§VI obfuscation claims, asserted end to end.
+
+use leaksig::core::prelude::*;
+use leaksig::netsim::obfuscate::{base64, xor_hex};
+use leaksig::netsim::{obfuscation_scenario, ObfLabel, SensitiveKind};
+
+#[test]
+fn payload_check_misses_encrypted_but_catches_derived_encodings() {
+    let s = obfuscation_scenario(11);
+
+    // Baseline check: raw values + digests.
+    let base: PayloadCheck<SensitiveKind> = PayloadCheck::new(s.device.all_values());
+    for p in s.of(ObfLabel::XorLeak).iter().take(50) {
+        assert!(
+            !base.is_suspicious(p),
+            "baseline check cannot know the XOR key"
+        );
+    }
+    for p in s.of(ObfLabel::Base64Leak).iter().take(50) {
+        assert!(
+            !base.is_suspicious(p),
+            "baseline check lacks base64 needles"
+        );
+    }
+
+    // Derived-encoding check: the server pre-computes base64 like digests.
+    let mut extended = s.device.all_values();
+    extended.push((SensitiveKind::Imei, base64(s.device.imei.as_bytes())));
+    let ext: PayloadCheck<SensitiveKind> = PayloadCheck::new(extended);
+    for p in s.of(ObfLabel::Base64Leak).iter().take(50) {
+        assert!(ext.is_suspicious(p), "derived needle must catch base64");
+    }
+    for p in s.of(ObfLabel::Benign).iter().take(100) {
+        assert!(!ext.is_suspicious(p), "benign must stay clean");
+    }
+}
+
+#[test]
+fn signatures_catch_fixed_key_ciphertext() {
+    let s = obfuscation_scenario(11);
+
+    // Analyst seeds the sample with a handful of packets from the
+    // encrypted module; clustering extracts the constant ciphertext.
+    let mut sample: Vec<&leaksig::http::HttpPacket> =
+        s.of(ObfLabel::CleartextLeak).into_iter().take(40).collect();
+    sample.extend(s.of(ObfLabel::XorLeak).into_iter().take(6));
+
+    let config = PipelineConfig {
+        fp_validation: None,
+        ..Default::default()
+    };
+    let detector = Detector::new(generate_signatures(&sample, &config));
+
+    let xor_packets = s.of(ObfLabel::XorLeak);
+    let caught = xor_packets
+        .iter()
+        .filter(|p| detector.match_packet(p).is_some())
+        .count();
+    assert!(
+        caught as f64 > 0.95 * xor_packets.len() as f64,
+        "only {caught}/{} encrypted-leak packets detected",
+        xor_packets.len()
+    );
+
+    // The ciphertext token is literally in some signature.
+    let cipher = xor_hex(&s.xor_key, s.device.android_id.as_bytes());
+    let has_cipher_token = detector.signatures().iter().any(|sig| {
+        sig.tokens.iter().any(|t| {
+            t.bytes()
+                .windows(cipher.len().min(t.bytes().len()).max(1))
+                .any(|w| w == cipher.as_bytes())
+        })
+    });
+    assert!(has_cipher_token, "expected a ciphertext-bearing token");
+
+    // And benign traffic stays below 1% false positives.
+    let benign = s.of(ObfLabel::Benign);
+    let fp = benign
+        .iter()
+        .filter(|p| detector.match_packet(p).is_some())
+        .count();
+    assert!(
+        (fp as f64) < 0.01 * benign.len() as f64 + 1.0,
+        "{fp}/{} benign packets matched",
+        benign.len()
+    );
+}

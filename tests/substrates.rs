@@ -1,0 +1,138 @@
+//! Cross-crate consistency checks between the substrates: the digests,
+//! compressors, and distances must agree with each other where their
+//! domains overlap.
+
+use leaksig::compress::{ncd, Compressor, Lzss, Lzw};
+use leaksig::hash::{md5_hex, sha1_hex};
+use leaksig::netsim::{luhn_valid, DeviceProfile, MarketConfig, MarketModel, SensitiveKind};
+use leaksig::textdist::{longest_common_substring, normalized_levenshtein};
+
+/// The netsim device's hashed identifiers are real digests of its raw
+/// identifiers.
+#[test]
+fn device_hashes_are_real_digests() {
+    let model = MarketModel::build(MarketConfig::scaled(5, 0.02));
+    let d: &DeviceProfile = &model.device;
+    assert_eq!(d.value(SensitiveKind::ImeiMd5), md5_hex(d.imei.as_bytes()));
+    assert_eq!(
+        d.value(SensitiveKind::ImeiSha1),
+        sha1_hex(d.imei.as_bytes())
+    );
+    assert_eq!(
+        d.value(SensitiveKind::AndroidIdMd5),
+        md5_hex(d.android_id.as_bytes())
+    );
+    assert!(luhn_valid(&d.imei));
+    assert!(luhn_valid(&d.sim_serial));
+}
+
+/// Both compressors agree on the qualitative NCD ordering the distance
+/// layer relies on: self < similar < dissimilar.
+#[test]
+fn compressors_agree_on_ncd_ordering() {
+    let a = b"GET /getad?imei=355195000000017&slot=3&fmt=json HTTP/1.1".repeat(2);
+    let b = b"GET /getad?imei=355195000000017&slot=9&fmt=json HTTP/1.1".repeat(2);
+    let c: Vec<u8> = (0u32..120)
+        .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+        .collect();
+    for name_c in [
+        ("lzss", &Lzss::default() as &dyn DynCompress),
+        ("lzw", &Lzw as &dyn DynCompress),
+    ] {
+        let (name, z) = name_c;
+        let d_self = z.ncd(&a, &a);
+        let d_sim = z.ncd(&a, &b);
+        let d_diff = z.ncd(&a, &c);
+        assert!(d_self <= d_sim, "{name}: self {d_self} > similar {d_sim}");
+        assert!(d_sim < d_diff, "{name}: similar {d_sim} >= diff {d_diff}");
+    }
+}
+
+/// Object-safe shim so the test can iterate over both compressors.
+trait DynCompress {
+    fn ncd(&self, x: &[u8], y: &[u8]) -> f64;
+}
+
+impl<C: Compressor> DynCompress for C {
+    fn ncd(&self, x: &[u8], y: &[u8]) -> f64 {
+        ncd(self, x, y)
+    }
+}
+
+/// Edit distance and LCS are consistent: identical strings have zero edit
+/// distance and a full-length common substring.
+#[test]
+fn textdist_internal_consistency() {
+    let hosts = ["ad-maker.info", "admob.com", "googlesyndication.com"];
+    for a in hosts {
+        for b in hosts {
+            let d = normalized_levenshtein(a.as_bytes(), b.as_bytes());
+            let lcs = longest_common_substring(a.as_bytes(), b.as_bytes());
+            if a == b {
+                assert_eq!(d, 0.0);
+                assert_eq!(lcs, a.as_bytes());
+            } else {
+                assert!(d > 0.0);
+                assert!(lcs.len() < a.len().max(b.len()));
+            }
+        }
+    }
+}
+
+/// Every packet the generator emits can be re-parsed from its own wire
+/// bytes into an equal model value (generator ↔ parser agreement).
+#[test]
+fn generated_packets_reparse_exactly() {
+    let data = leaksig::netsim::Dataset::generate(MarketConfig::scaled(77, 0.02));
+    for p in data.packets.iter().take(3000) {
+        let wire = p.packet.to_bytes();
+        let back =
+            leaksig::http::parse_request(&wire, p.packet.destination.ip, p.packet.destination.port)
+                .expect("generated packet must parse");
+        assert_eq!(back, p.packet);
+    }
+}
+
+/// The §VI WHOIS refinement over real market allocations: shared-hosting
+/// tenants stop reading as near; same-org properties (Google's ad and
+/// analytics domains) stay near even across prefixes.
+#[test]
+fn whois_refinement_on_market_allocations() {
+    use leaksig::core::distance::{d_ip, d_ip_verified, DistanceConvention, OrgOracle};
+    use leaksig::WhoisOracle;
+
+    let model = MarketModel::build(MarketConfig::scaled(11, 0.05));
+    let reg = &model.registry;
+    let oracle = WhoisOracle(reg);
+    let conv = DistanceConvention::Corrected;
+
+    let admob = reg.ip_of("admob.com").expect("admob allocated");
+    let gsync = reg.ip_of("googlesyndication.com").expect("gsync allocated");
+    // Same organisation: verified distance is the minimum.
+    assert_eq!(oracle.same_org(admob, gsync), Some(true));
+    assert_eq!(d_ip_verified(admob, gsync, &oracle, conv), 0.0);
+
+    // Find two shared-hosting neighbours (same /16, different owners).
+    let mut shared: Vec<std::net::Ipv4Addr> = model
+        .domains
+        .iter()
+        .map(|d| d.ip)
+        .filter(|&ip| {
+            reg.org_of_ip(ip)
+                .is_some_and(|org| org != "Shared Hosting KK")
+        })
+        .collect();
+    shared.sort();
+    let neighbours = shared.windows(2).find(|w| {
+        w[0].octets()[..2] == w[1].octets()[..2] && reg.org_of_ip(w[0]) != reg.org_of_ip(w[1])
+    });
+    if let Some(w) = neighbours {
+        let (a, b) = (w[0], w[1]);
+        assert!(d_ip(a, b, conv) < 0.5, "prefix heuristic reads near");
+        assert_eq!(
+            d_ip_verified(a, b, &oracle, conv),
+            1.0,
+            "ownership verification reads far"
+        );
+    }
+}
