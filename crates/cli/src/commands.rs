@@ -131,6 +131,11 @@ pub fn generate(args: &Args) -> Result<(), String> {
     let seed: u64 = args
         .parsed_or("seed", 0xC0FFEE)
         .map_err(|e| e.to_string())?;
+    let deploy_gate = match args.optional("gate").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--gate must be on|off, got {other:?}")),
+    };
 
     let packets: Vec<&leaksig_http::HttpPacket> = records.iter().map(|r| &r.packet).collect();
     let labels: Vec<bool> = packets.iter().map(|p| check.is_suspicious(p)).collect();
@@ -141,6 +146,7 @@ pub fn generate(args: &Args) -> Result<(), String> {
 
     let config = PipelineConfig {
         sample_seed: seed,
+        deploy_gate,
         ..Default::default()
     };
     let outcome = run_experiment_refs(&packets, &labels, n, &config);
@@ -215,6 +221,21 @@ pub fn detect(args: &Args) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `lint`: audit a signature file for §VI false-positive hazards,
+/// shadowing, and structural defects. Returns the process exit code:
+/// 1 when any Error-level diagnostic was found, 0 otherwise.
+pub fn lint(args: &Args) -> Result<i32, String> {
+    let set = load_sigs(args.required("sigs").map_err(|e| e.to_string())?)?;
+    let linter = leaksig_lint::Linter::new();
+    let diags = linter.lint(&set);
+    match args.optional("format").unwrap_or("text") {
+        "text" => print!("{}", leaksig_lint::render_text(&diags)),
+        "json" => println!("{}", leaksig_lint::render_json(&diags)),
+        other => return Err(format!("--format must be text|json, got {other:?}")),
+    }
+    Ok(if leaksig_lint::has_errors(&diags) { 1 } else { 0 })
 }
 
 /// `inspect`: human-readable dump of a signature file.

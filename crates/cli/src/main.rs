@@ -6,6 +6,7 @@
 //! leaksig-cli generate --capture capture.lsc --device device.txt --out sigs.txt [--n 300]
 //! leaksig-cli detect   --capture capture.lsc --sigs sigs.txt [--device device.txt]
 //! leaksig-cli inspect  --sigs sigs.txt
+//! leaksig-cli lint     --sigs sigs.txt [--format text|json]
 //! ```
 //!
 //! The `market` command synthesizes a capture (stand-in for a real
@@ -26,10 +27,11 @@ usage: leaksig-cli <command> [--flag value]...
 commands:
   market    synthesize a market capture:  --out FILE --device FILE [--seed N] [--scale X]
   check     run the payload check:        --capture FILE --device FILE
-  generate  generate signatures:          --capture FILE --device FILE --out FILE [--n N] [--seed N]
+  generate  generate signatures:          --capture FILE --device FILE --out FILE [--n N] [--seed N] [--gate on|off]
   detect    apply signatures:             --capture FILE --sigs FILE [--device FILE]
   gate      replay through the device gate: --capture FILE --sigs FILE [--policy allow|block]
   inspect   print a signature set:        --sigs FILE
+  lint      audit a signature set:        --sigs FILE [--format text|json]  (exit 1 on errors)
 ";
 
 fn main() {
@@ -39,7 +41,7 @@ fn main() {
         return;
     }
     let exit = match run(argv) {
-        Ok(()) => 0,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -50,15 +52,19 @@ fn main() {
     std::process::exit(exit);
 }
 
-fn run(argv: Vec<String>) -> Result<(), String> {
+/// Run a subcommand. `Ok(code)` is the process exit status (non-zero for
+/// commands like `lint` that report findings through it); `Err` is a
+/// usage/runtime error that also prints the usage text.
+fn run(argv: Vec<String>) -> Result<i32, String> {
     let args = Args::parse(argv).map_err(|e| e.to_string())?;
     match args.command.as_str() {
-        "market" => commands::market(&args),
-        "check" => commands::check(&args),
-        "generate" => commands::generate(&args),
-        "detect" => commands::detect(&args),
-        "gate" => commands::gate(&args),
-        "inspect" => commands::inspect(&args),
+        "market" => commands::market(&args).map(|()| 0),
+        "check" => commands::check(&args).map(|()| 0),
+        "generate" => commands::generate(&args).map(|()| 0),
+        "detect" => commands::detect(&args).map(|()| 0),
+        "gate" => commands::gate(&args).map(|()| 0),
+        "inspect" => commands::inspect(&args).map(|()| 0),
+        "lint" => commands::lint(&args),
         other => Err(format!("unknown command {other:?}")),
     }
 }

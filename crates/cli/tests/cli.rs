@@ -85,6 +85,10 @@ fn full_workflow() {
     let out = run_ok(&["inspect", "--sigs", &sigs]);
     assert!(out.contains("signature 0"), "{out}");
 
+    // lint: the freshly generated set must carry zero errors (exit 0).
+    let out = run_ok(&["lint", "--sigs", &sigs]);
+    assert!(out.contains("0 errors"), "{out}");
+
     // gate replay with a block-everything user
     let out = run_ok(&[
         "gate",
@@ -104,6 +108,74 @@ fn full_workflow() {
         .map(|(n, _)| n.parse().unwrap())
         .expect("blocked count");
     assert!(blocked > 50, "only {blocked} blocked");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `lint` against a known-bad set: generate a clean set from a netsim
+/// capture, inject a §VI pathological signature (boilerplate-only
+/// `POST /xyz` anchor, far below the minimum anchor length), and assert
+/// the expected diagnostic code and exit status in both output formats.
+#[test]
+fn lint_flags_injected_generic_signature() {
+    let dir = std::env::temp_dir().join(format!("leaksig-lint-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    let (cap, dev, sigs) = (path("cap.lsc"), path("device.txt"), path("sigs.txt"));
+
+    run_ok(&[
+        "market", "--out", &cap, "--device", &dev, "--seed", "11", "--scale", "0.03",
+    ]);
+    run_ok(&[
+        "generate", "--capture", &cap, "--device", &dev, "--out", &sigs, "--n", "80",
+    ]);
+
+    // Clean set: exit 0 in both formats, stable JSON schema.
+    let out = run_ok(&["lint", "--sigs", &sigs]);
+    assert!(out.contains("0 errors"), "{out}");
+    let out = run_ok(&["lint", "--sigs", &sigs, "--format", "json"]);
+    assert!(out.starts_with(r#"{"version":1,"errors":0,"#), "{out}");
+
+    // Inject a §VI hazard: "POST /xyz" (9 bytes, all boilerplate-ish, no
+    // anchor) as an extra signature appended in wire format.
+    let mut text = std::fs::read_to_string(&sigs).unwrap();
+    text.push_str("sig 99 2\ntok rline 504f5354202f78797a 0\nend\n");
+    let bad = path("bad-sigs.txt");
+    std::fs::write(&bad, text).unwrap();
+
+    // Text format: exit 1, the anchor diagnostic named by code.
+    let out = bin().args(["lint", "--sigs", &bad]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[L003] sig 99"), "{stdout}");
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("usage"),
+        "findings must not print usage"
+    );
+
+    // JSON format: exit 1, schema-stable keys in fixed order.
+    let out = bin()
+        .args(["lint", "--sigs", &bad, "--format", "json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with(r#"{"version":1,"errors":"#), "{stdout}");
+    assert!(stdout.contains(r#""diagnostics":[{"code":"#), "{stdout}");
+    assert!(
+        stdout.contains(
+            r#""code":"L003","severity":"error","signature_id":99,"field":null,"message":"#
+        ),
+        "{stdout}"
+    );
+
+    // A bad --format value is a usage error, not a lint finding.
+    let out = bin()
+        .args(["lint", "--sigs", &bad, "--format", "yaml"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--format"));
 
     std::fs::remove_dir_all(&dir).ok();
 }

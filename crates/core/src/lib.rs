@@ -20,6 +20,9 @@
 //! * [`signature`] — conjunction signatures: per-field invariant tokens
 //!   with boilerplate filtering (§IV-E, §VI).
 //! * [`wire`] — the versioned text format signatures ship in (Fig. 3).
+//! * [`audit`] — static auditing of finished sets: the diagnostic
+//!   vocabulary and the deploy gate (§VI's hazards, re-checked at the
+//!   deployment boundary; `leaksig-lint` builds on it).
 //! * [`detect`] — the high-volume matcher.
 //! * [`eval`] — the paper's TP/FN/FP formulas (§V-B).
 //! * [`quality`] — cluster purity / Rand index (tuning diagnostics).
@@ -47,6 +50,7 @@
 //! assert!(detector.match_packet(&mk("42")).is_some());
 //! ```
 
+pub mod audit;
 pub mod bayes;
 pub mod cluster;
 pub mod detect;
@@ -61,6 +65,7 @@ pub mod wire;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use crate::audit::{deploy_check, AuditConfig, Code, Diagnostic, Severity};
     pub use crate::bayes::{BayesConfig, BayesSignature};
     pub use crate::cluster::{agglomerate, agglomerate_with, Dendrogram, Linkage, Merge};
     pub use crate::detect::{Detection, Detector, Explanation, MatchMode};

@@ -75,6 +75,10 @@ pub struct PipelineConfig {
     pub sample_seed: u64,
     /// Optional benign-traffic vetting of candidate signatures.
     pub fp_validation: Option<FpValidation>,
+    /// Refuse to emit signatures carrying Error-level audit findings
+    /// (§VI's `POST *` hazard, re-checked on the finished artifact).
+    /// Default on; turn off only to study unfiltered generation.
+    pub deploy_gate: bool,
 }
 
 impl Default for PipelineConfig {
@@ -85,6 +89,7 @@ impl Default for PipelineConfig {
             selection: ClusterSelection::AllNodes { max_distance: 3.5 },
             sample_seed: 0xC0FFEE,
             fp_validation: Some(FpValidation::default()),
+            deploy_gate: true,
         }
     }
 }
@@ -175,7 +180,25 @@ pub fn generate_signatures_with<C: leaksig_compress::Compressor + Sync>(
             }
         }
     }
-    SignatureSet { signatures }
+    let mut set = SignatureSet { signatures };
+
+    // Deploy gate: under the default configuration the generation filters
+    // above leave nothing for this to catch — the gate is the invariant
+    // that no Error-level signature leaves the pipeline regardless of how
+    // `config.signature` was loosened. It deliberately audits against the
+    // *default* policy, not the caller's: a caller who lowers
+    // `min_anchor_len` is experimenting with generation, which is fine,
+    // but shipping §VI boilerplate-only signatures additionally requires
+    // `deploy_gate: false`.
+    if config.deploy_gate {
+        let audit_cfg = crate::audit::AuditConfig::default();
+        set.signatures.retain(|sig| {
+            !crate::audit::signature_structure(sig, &audit_cfg)
+                .iter()
+                .any(|d| d.severity == crate::audit::Severity::Error)
+        });
+    }
+    set
 }
 
 /// Remove signatures whose token set is a superset of another signature's
@@ -415,6 +438,58 @@ mod tests {
         let (packets, labels) = mini_dataset();
         let out = run_experiment(&packets, &labels, 10_000, &PipelineConfig::default());
         assert_eq!(out.counts.sample_n, 60);
+    }
+
+    /// §VI regression: with the generation filters loosened so that
+    /// boilerplate-only (`POST *`-style) candidates survive extraction,
+    /// the deploy gate still refuses them by default; only the explicit
+    /// `deploy_gate: false` override lets them through.
+    #[test]
+    fn deploy_gate_refuses_boilerplate_only_signatures() {
+        // Two POSTs sharing nothing beyond the 8-byte "POST /x?" prefix:
+        // under the default anchor filter this cluster yields nothing.
+        let mk = |v: &str| {
+            RequestBuilder::post(&format!("/x?{v}"))
+                .destination(Ipv4Addr::LOCALHOST, 80, "x.jp")
+                .build()
+        };
+        let (a, b) = (mk("aaaaaa111111"), mk("zzzzzz999999"));
+        let mut loose = PipelineConfig::default();
+        loose.signature.min_anchor_len = 3;
+        loose.signature.boilerplate.clear();
+        // Singletons tokenize whole (specific) request lines and would
+        // rightly pass the gate; the §VI hazard is the cluster signature.
+        loose.signature.include_singletons = false;
+
+        let gated = generate_signatures(&[&a, &b], &loose);
+        assert!(
+            gated.is_empty(),
+            "gate must drop §VI candidates: {:?}",
+            gated.signatures
+        );
+
+        let ungated = generate_signatures(&[&a, &b], &{
+            let mut cfg = loose.clone();
+            cfg.deploy_gate = false;
+            cfg
+        });
+        assert!(
+            !ungated.is_empty(),
+            "override must admit what generation produced"
+        );
+        // And what the override admitted is exactly what the audit flags.
+        assert!(crate::audit::deploy_check(&ungated).is_err());
+    }
+
+    /// The default pipeline on clean input produces sets with zero
+    /// Error-level findings — the gate never bites on the happy path.
+    #[test]
+    fn default_generation_passes_the_deploy_gate() {
+        let (packets, _) = mini_dataset();
+        let sample: Vec<&HttpPacket> = packets[..60].iter().collect();
+        let set = generate_signatures(&sample, &PipelineConfig::default());
+        assert!(!set.is_empty());
+        crate::audit::deploy_check(&set).expect("clean generation is gate-clean");
     }
 
     #[test]

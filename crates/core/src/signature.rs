@@ -79,6 +79,12 @@ impl FieldToken {
         }
     }
 
+    /// Field the token is anchored to (accessor form, for callers
+    /// holding the token behind a reference chain).
+    pub fn field(&self) -> Field {
+        self.field
+    }
+
     /// The token bytes.
     pub fn bytes(&self) -> &[u8] {
         self.needle.pattern()
@@ -105,6 +111,16 @@ pub struct ConjunctionSignature {
 }
 
 impl ConjunctionSignature {
+    /// The tokens, longest first.
+    pub fn tokens(&self) -> &[FieldToken] {
+        &self.tokens
+    }
+
+    /// Tokens anchored to one field, in storage (longest-first) order.
+    pub fn tokens_in(&self, field: Field) -> impl Iterator<Item = &FieldToken> {
+        self.tokens.iter().filter(move |t| t.field == field)
+    }
+
     /// Whether every token occurs in its field of `packet`.
     pub fn matches(&self, packet: &HttpPacket) -> bool {
         let rline = rline_view(packet);
@@ -317,6 +333,25 @@ impl SignatureSet {
     pub fn token_count(&self) -> usize {
         self.signatures.iter().map(|s| s.tokens.len()).sum()
     }
+
+    /// Iterate the signatures in detection (first-match) order.
+    pub fn iter(&self) -> std::slice::Iter<'_, ConjunctionSignature> {
+        self.signatures.iter()
+    }
+
+    /// Look a signature up by id.
+    pub fn by_id(&self, id: u32) -> Option<&ConjunctionSignature> {
+        self.signatures.iter().find(|s| s.id == id)
+    }
+}
+
+impl<'a> IntoIterator for &'a SignatureSet {
+    type Item = &'a ConjunctionSignature;
+    type IntoIter = std::slice::Iter<'a, ConjunctionSignature>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
 }
 
 #[cfg(test)]
@@ -496,5 +531,23 @@ mod tests {
         assert!(!set.is_empty());
         assert!(set.token_count() > 0);
         assert!(SignatureSet::default().is_empty());
+
+        // Read accessors used by the linter: field, bytes, order hint,
+        // iteration.
+        assert_eq!(set.iter().count(), 1);
+        assert_eq!((&set).into_iter().count(), 1);
+        let sig = set.by_id(0).expect("id 0");
+        assert!(set.by_id(99).is_none());
+        assert_eq!(sig.tokens().len(), sig.tokens.len());
+        for t in sig.tokens() {
+            assert_eq!(t.field(), t.field);
+            assert!(!t.bytes().is_empty());
+            let _ = t.order_hint();
+        }
+        let per_field: usize = Field::ALL
+            .iter()
+            .map(|&f| sig.tokens_in(f).count())
+            .sum();
+        assert_eq!(per_field, sig.tokens().len());
     }
 }

@@ -1,6 +1,7 @@
 //! Property tests for core invariants.
 
 use leaksig_core::prelude::*;
+use leaksig_core::signature::{ConjunctionSignature, Field, FieldToken};
 use leaksig_http::RequestBuilder;
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
@@ -24,6 +25,46 @@ fn arb_packet() -> impl Strategy<Value = leaksig_http::HttpPacket> {
             }
             b.destination(Ipv4Addr::from(ip), port, &host).build()
         })
+}
+
+fn arb_token() -> impl Strategy<Value = FieldToken> {
+    (
+        prop_oneof![
+            Just(Field::RequestLine),
+            Just(Field::Cookie),
+            Just(Field::Body),
+        ],
+        // Arbitrary bytes, non-empty and far below the 256-byte Needle
+        // cap — both limits the wire decoder enforces.
+        proptest::collection::vec(any::<u8>(), 1..24),
+        any::<u32>(),
+    )
+        .prop_map(|(field, bytes, hint)| FieldToken::with_hint(field, bytes, hint))
+}
+
+/// Signature sets the generator would never emit (arbitrary ids, hint
+/// values, byte patterns) — the wire format must carry them regardless.
+fn arb_wire_set() -> impl Strategy<Value = SignatureSet> {
+    proptest::collection::vec(
+        (
+            any::<u32>(),
+            1usize..50,
+            proptest::collection::vec("[a-z0-9.-]{1,16}", 0..3),
+            proptest::collection::vec(arb_token(), 1..5),
+        ),
+        0..6,
+    )
+    .prop_map(|sigs| SignatureSet {
+        signatures: sigs
+            .into_iter()
+            .map(|(id, cluster_size, hosts, tokens)| ConjunctionSignature {
+                id,
+                tokens,
+                cluster_size,
+                hosts,
+            })
+            .collect(),
+    })
 }
 
 proptest! {
@@ -102,6 +143,49 @@ proptest! {
                 prop_assert_eq!(tx.bytes(), ty.bytes());
             }
         }
+    }
+
+    /// Wire round-trip over *arbitrary* sets, not just generator output:
+    /// every id, host list, token byte pattern, and order hint survives.
+    #[test]
+    fn arbitrary_sets_survive_the_wire(set in arb_wire_set()) {
+        let back = decode(&encode(&set)).unwrap();
+        prop_assert_eq!(back.len(), set.len());
+        for (x, y) in back.signatures.iter().zip(&set.signatures) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.cluster_size, y.cluster_size);
+            prop_assert_eq!(&x.hosts, &y.hosts);
+            prop_assert_eq!(x.tokens.len(), y.tokens.len());
+            for (tx, ty) in x.tokens.iter().zip(&y.tokens) {
+                prop_assert_eq!(tx.field, ty.field);
+                prop_assert_eq!(tx.bytes(), ty.bytes());
+                prop_assert_eq!(tx.order_hint(), ty.order_hint());
+            }
+        }
+    }
+
+    /// Malformed wire input — truncated at any byte, junk without the
+    /// magic header, or extra junk lines — returns an error or a valid
+    /// set; it never panics.
+    #[test]
+    fn malformed_wire_errors_instead_of_panicking(
+        set in arb_wire_set(),
+        cut_frac in 0.0f64..1.0,
+        junk in "[a-z0-9 .=&]{0,32}",
+    ) {
+        let text = encode(&set);
+        // Truncation at an arbitrary byte (encode output is ASCII, so
+        // every index is a char boundary).
+        let cut = (text.len() as f64 * cut_frac) as usize;
+        let _ = decode(&text[..cut.min(text.len())]);
+        // Junk without the magic header is always rejected.
+        prop_assert!(decode(&junk).is_err());
+        // A junk line appended to valid text must not panic (it may
+        // happen to parse when it spells a valid directive).
+        let mut corrupted = text;
+        corrupted.push_str(&junk);
+        corrupted.push('\n');
+        let _ = decode(&corrupted);
     }
 
     /// Needle matching agrees with a std oracle on arbitrary inputs.

@@ -236,11 +236,13 @@ mod tests {
     fn armed_store() -> SignatureStore {
         let server = SignatureServer::new();
         let (a, b) = (leak("1"), leak("2"));
-        server.publish(&generate_signatures(&[&a, &b], &{
-            let mut cfg = PipelineConfig::default();
-            cfg.signature.include_singletons = false;
-            cfg
-        }));
+        server
+            .publish(&generate_signatures(&[&a, &b], &{
+                let mut cfg = PipelineConfig::default();
+                cfg.signature.include_singletons = false;
+                cfg
+            }))
+            .unwrap();
         let store = SignatureStore::new();
         store.sync(&server).unwrap();
         store

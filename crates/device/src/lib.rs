@@ -29,4 +29,4 @@ pub use gate::{AuditRecord, GateAction, GateStats, PacketGate};
 pub use persist::{decode_policy, decode_store, encode_policy, encode_store, PersistError};
 pub use policy::{FlowKey, PolicyEngine, UserChoice, Verdict};
 pub use server::{CollectionServer, ServerStats};
-pub use store::{SignatureServer, SignatureStore};
+pub use store::{InstallError, SignatureServer, SignatureStore};

@@ -150,11 +150,13 @@ mod tests {
                 .build()
         };
         let server = SignatureServer::new();
-        server.publish(&generate_signatures(&[&mk("1"), &mk("2")], &{
-            let mut cfg = PipelineConfig::default();
-            cfg.signature.include_singletons = false;
-            cfg
-        }));
+        server
+            .publish(&generate_signatures(&[&mk("1"), &mk("2")], &{
+                let mut cfg = PipelineConfig::default();
+                cfg.signature.include_singletons = false;
+                cfg
+            }))
+            .unwrap();
         let store = SignatureStore::new();
         store.sync(&server).unwrap();
 

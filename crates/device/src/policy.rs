@@ -104,6 +104,17 @@ impl PolicyEngine {
             .map(|((app, sig), r)| (app.clone(), *sig, matches!(r, Remembered::Allow)))
             .collect()
     }
+
+    /// Cross-check every remembered decision against `set`: rules that
+    /// reference a signature id the set does not contain are stale (the
+    /// user's choice silently stops applying after a set update) and are
+    /// reported as L010 diagnostics.
+    pub fn validate_against(
+        &self,
+        set: &leaksig_core::signature::SignatureSet,
+    ) -> Vec<leaksig_core::audit::Diagnostic> {
+        leaksig_core::audit::policy_references(set, &self.remembered_rows())
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +152,32 @@ mod tests {
         assert!(!p.resolve("app.a", 1, UserChoice::BlockOnce));
         assert_eq!(p.decide("app.a", Some(1)), Verdict::Prompt);
         assert_eq!(p.remembered_count(), 0);
+    }
+
+    #[test]
+    fn stale_rules_are_flagged_against_the_installed_set() {
+        use leaksig_core::audit::Code;
+        use leaksig_core::signature::{ConjunctionSignature, Field, FieldToken, SignatureSet};
+
+        let set = SignatureSet {
+            signatures: vec![ConjunctionSignature {
+                id: 3,
+                tokens: vec![FieldToken::new(
+                    Field::RequestLine,
+                    &b"GET /getad?imei=355195"[..],
+                )],
+                cluster_size: 2,
+                hosts: vec![],
+            }],
+        };
+        let mut p = PolicyEngine::new();
+        p.resolve("app.a", 3, UserChoice::BlockAlways); // still valid
+        p.resolve("app.a", 9, UserChoice::AllowAlways); // stale after update
+        let diags = p.validate_against(&set);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::UnknownPolicySignature);
+        assert_eq!(diags[0].signature_id, Some(9));
+        assert!(diags[0].message.contains("app.a"));
     }
 
     #[test]

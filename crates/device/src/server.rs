@@ -104,7 +104,10 @@ impl<T: Copy + Eq + Send> CollectionServer<T> {
 
     /// Run the §IV pipeline over (up to) `n` reservoir packets, validate
     /// against the normal ring, and publish to `server`. Returns the
-    /// published version, or `None` when no suspicious traffic exists yet.
+    /// published version, or `None` when no suspicious traffic exists yet
+    /// — or when the freshly generated set fails the publisher's deploy
+    /// gate (possible only under a loosened `PipelineConfig`), in which
+    /// case nothing is published and devices keep their current set.
     pub fn regenerate(&self, n: usize, server: &SignatureServer) -> Option<u64> {
         let mut st = self.state.lock();
         if st.reservoir.is_empty() {
@@ -130,7 +133,7 @@ impl<T: Copy + Eq + Send> CollectionServer<T> {
         drop_dominated(&mut set);
 
         st.stats.regenerations += 1;
-        Some(server.publish(&set))
+        server.publish(&set).ok()
     }
 
     /// Counter snapshot.

@@ -7,9 +7,45 @@
 //! ever sees wire text, so swapping in a real HTTP fetch changes nothing
 //! else.
 
+use leaksig_core::audit;
 use leaksig_core::prelude::*;
 use leaksig_core::wire;
 use parking_lot::RwLock;
+
+/// Why a signature set was refused at the deployment boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstallError {
+    /// The wire text failed to parse.
+    Wire(WireError),
+    /// The set parsed but carries Error-level audit findings (§VI
+    /// false-positive hazards); see [`leaksig_core::audit::deploy_check`].
+    Rejected(Vec<Diagnostic>),
+}
+
+impl std::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstallError::Wire(e) => e.fmt(f),
+            InstallError::Rejected(diags) => write!(
+                f,
+                "deploy gate rejected the set: {} error(s), first: {}",
+                diags.len(),
+                diags
+                    .first()
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "<none>".to_string())
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+impl From<WireError> for InstallError {
+    fn from(e: WireError) -> Self {
+        InstallError::Wire(e)
+    }
+}
 
 /// The publishing side: holds the current signature set and its version.
 #[derive(Debug, Default)]
@@ -25,8 +61,19 @@ impl SignatureServer {
         }
     }
 
-    /// Publish a new signature set, bumping the version.
-    pub fn publish(&self, set: &SignatureSet) -> u64 {
+    /// Publish a new signature set, bumping the version. Sets carrying
+    /// Error-level audit findings are refused: a server distributing a
+    /// §VI match-everything signature would turn every device into a
+    /// false-prompt generator. Use [`SignatureServer::publish_unchecked`]
+    /// to bypass the gate deliberately.
+    pub fn publish(&self, set: &SignatureSet) -> Result<u64, Vec<Diagnostic>> {
+        audit::deploy_check(set)?;
+        Ok(self.publish_unchecked(set))
+    }
+
+    /// [`SignatureServer::publish`] without the deploy gate (for studying
+    /// pathological sets, or when the caller already gated).
+    pub fn publish_unchecked(&self, set: &SignatureSet) -> u64 {
         let mut guard = self.inner.write();
         guard.0 += 1;
         guard.1 = wire::encode(set);
@@ -80,8 +127,21 @@ impl SignatureStore {
         self.inner.read().1.signatures().len()
     }
 
-    /// Install a set from wire text at an explicit version.
-    pub fn install(&self, version: u64, wire_text: &str) -> Result<(), WireError> {
+    /// Install a set from wire text at an explicit version. Decoded sets
+    /// pass through the deploy gate: Error-level audit findings refuse
+    /// the install and leave the store unchanged (the device keeps
+    /// detecting with what it has rather than adopt a §VI hazard). Use
+    /// [`SignatureStore::install_unchecked`] to bypass deliberately.
+    pub fn install(&self, version: u64, wire_text: &str) -> Result<(), InstallError> {
+        let set = wire::decode(wire_text)?;
+        audit::deploy_check(&set).map_err(InstallError::Rejected)?;
+        *self.inner.write() = (version, Detector::new(set), wire_text.to_string());
+        Ok(())
+    }
+
+    /// [`SignatureStore::install`] without the deploy gate; the wire text
+    /// must still parse.
+    pub fn install_unchecked(&self, version: u64, wire_text: &str) -> Result<(), WireError> {
         let set = wire::decode(wire_text)?;
         *self.inner.write() = (version, Detector::new(set), wire_text.to_string());
         Ok(())
@@ -94,7 +154,7 @@ impl SignatureStore {
 
     /// Pull from `server` if it has something newer. Returns `true` when
     /// an update was installed.
-    pub fn sync(&self, server: &SignatureServer) -> Result<bool, WireError> {
+    pub fn sync(&self, server: &SignatureServer) -> Result<bool, InstallError> {
         let have = self.version();
         match server.fetch(have) {
             Some((version, text)) => {
@@ -153,7 +213,7 @@ mod tests {
         let store = SignatureStore::new();
         assert!(!store.sync(&server).unwrap(), "nothing to fetch yet");
 
-        let v = server.publish(&one_signature_set());
+        let v = server.publish(&one_signature_set()).unwrap();
         assert_eq!(v, 1);
         assert!(store.sync(&server).unwrap());
         assert_eq!(store.version(), 1);
@@ -168,11 +228,11 @@ mod tests {
     fn republish_bumps_version_and_replaces() {
         let server = SignatureServer::new();
         let store = SignatureStore::new();
-        server.publish(&one_signature_set());
+        server.publish(&one_signature_set()).unwrap();
         store.sync(&server).unwrap();
 
         // Publish an empty set: detection must stop.
-        let v2 = server.publish(&SignatureSet::default());
+        let v2 = server.publish(&SignatureSet::default()).unwrap();
         assert_eq!(v2, 2);
         assert!(store.sync(&server).unwrap());
         assert_eq!(store.version(), 2);
@@ -183,12 +243,69 @@ mod tests {
     fn corrupt_wire_is_rejected_and_store_unchanged() {
         let store = SignatureStore::new();
         let server = SignatureServer::new();
-        server.publish(&one_signature_set());
+        server.publish(&one_signature_set()).unwrap();
         store.sync(&server).unwrap();
         let before = store.signature_count();
 
-        assert!(store.install(9, "garbage").is_err());
+        assert!(matches!(
+            store.install(9, "garbage"),
+            Err(InstallError::Wire(_))
+        ));
         assert_eq!(store.version(), 1, "failed install must not bump version");
         assert_eq!(store.signature_count(), before);
+    }
+
+    /// A §VI pathological set (boilerplate-only token, no anchor) on the
+    /// wire: encoded fine, parsed fine — refused at install time, and the
+    /// store keeps detecting with what it had.
+    fn pathological_wire() -> String {
+        let set = SignatureSet {
+            signatures: vec![leaksig_core::signature::ConjunctionSignature {
+                id: 0,
+                tokens: vec![leaksig_core::signature::FieldToken::new(
+                    leaksig_core::signature::Field::RequestLine,
+                    &b"POST /x"[..],
+                )],
+                cluster_size: 9,
+                hosts: vec![],
+            }],
+        };
+        wire::encode(&set)
+    }
+
+    #[test]
+    fn deploy_gate_refuses_pathological_sets_by_default() {
+        let store = SignatureStore::new();
+        let server = SignatureServer::new();
+        server.publish(&one_signature_set()).unwrap();
+        store.sync(&server).unwrap();
+        let before = store.signature_count();
+
+        let err = store.install(2, &pathological_wire()).unwrap_err();
+        let InstallError::Rejected(diags) = &err else {
+            panic!("expected gate rejection, got {err:?}");
+        };
+        assert!(diags.iter().any(|d| d.code == Code::MissingAnchor));
+        assert!(err.to_string().contains("deploy gate"));
+        assert_eq!(store.version(), 1, "store must be unchanged");
+        assert_eq!(store.signature_count(), before);
+
+        // The publisher refuses the same set at the source.
+        let bad = wire::decode(&pathological_wire()).unwrap();
+        assert!(server.publish(&bad).is_err());
+    }
+
+    #[test]
+    fn unchecked_override_installs_anyway() {
+        let store = SignatureStore::new();
+        store.install_unchecked(5, &pathological_wire()).unwrap();
+        assert_eq!(store.version(), 5);
+        assert_eq!(store.signature_count(), 1);
+        // The override still requires parseable wire text.
+        assert!(store.install_unchecked(6, "garbage").is_err());
+
+        let server = SignatureServer::new();
+        let bad = wire::decode(&pathological_wire()).unwrap();
+        assert_eq!(server.publish_unchecked(&bad), 1);
     }
 }

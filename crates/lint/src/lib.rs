@@ -1,0 +1,251 @@
+#![warn(missing_docs)]
+//! `leaksig-lint` — static auditor for finished signature artifacts.
+//!
+//! The generation pipeline filters §VI's `POST *` hazards at the source,
+//! but signature sets also arrive over the wire, from older producers,
+//! and from hand edits. This crate runs the full rule catalogue over a
+//! [`SignatureSet`] (plus, optionally, the device policy that references
+//! it) and renders the findings as human-readable text or stable JSON.
+//!
+//! The rule primitives live in `leaksig_core::audit` so the core pipeline
+//! and the device store can gate deployments without depending on this
+//! crate; what `leaksig-lint` adds is:
+//!
+//! * a bundled normal-traffic corpus (deterministic `leaksig-netsim`
+//!   benign traffic) behind the L005 generality rule, so "would this
+//!   signature fire on ordinary packets?" is answerable offline;
+//! * one-call orchestration of every rule with deterministic ordering;
+//! * report rendering ([`render_text`], [`render_json`]).
+//!
+//! ```
+//! use leaksig_lint::Linter;
+//! use leaksig_core::prelude::*;
+//!
+//! let set = SignatureSet::default();
+//! let linter = Linter::new();
+//! assert!(linter.lint(&set).is_empty());
+//! ```
+
+use leaksig_core::audit::{self, AuditConfig, Code, Diagnostic, Severity};
+use leaksig_core::signature::SignatureSet;
+use leaksig_http::HttpPacket;
+use leaksig_netsim::{Dataset, MarketConfig};
+
+pub use leaksig_core::audit::has_errors;
+
+mod render;
+pub use render::{render_json, render_text};
+
+/// Everything configurable about a lint run.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Parameters of the structural rules (anchor length, boilerplate).
+    pub audit: AuditConfig,
+    /// L005 threshold: a signature matching more than this fraction of
+    /// the normal corpus is an Error. Chosen above the pipeline's own
+    /// vetting bar (2%) so sets that passed generation-time pruning on a
+    /// *different* benign sample do not flap.
+    pub corpus_max_fraction: f64,
+    /// Number of benign packets in the bundled corpus.
+    pub corpus_size: usize,
+    /// Seed of the bundled corpus (deterministic across runs).
+    pub corpus_seed: u64,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            audit: AuditConfig::default(),
+            corpus_max_fraction: 0.05,
+            corpus_size: 1200,
+            corpus_seed: 0x11D2,
+        }
+    }
+}
+
+/// The auditor: rule configuration plus the normal-traffic corpus the
+/// generality rule measures against.
+#[derive(Debug)]
+pub struct Linter {
+    config: LintConfig,
+    corpus: Vec<HttpPacket>,
+}
+
+impl Default for Linter {
+    fn default() -> Self {
+        Linter::new()
+    }
+}
+
+impl Linter {
+    /// A linter with default configuration and the bundled corpus.
+    pub fn new() -> Self {
+        Linter::with_config(LintConfig::default())
+    }
+
+    /// A linter with explicit configuration and the bundled corpus.
+    pub fn with_config(config: LintConfig) -> Self {
+        let corpus = bundled_corpus(config.corpus_seed, config.corpus_size);
+        Linter { config, corpus }
+    }
+
+    /// A linter measuring generality against caller-supplied benign
+    /// traffic instead of the bundled corpus (e.g. a site-local capture).
+    pub fn with_corpus(config: LintConfig, corpus: Vec<HttpPacket>) -> Self {
+        Linter { config, corpus }
+    }
+
+    /// Number of packets in the corpus behind the L005 rule.
+    pub fn corpus_len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Run every set-level rule: structural, shadowing/subsumption,
+    /// corpus generality, and wire round-trip. Findings are ordered by
+    /// severity (errors first), then signature id, then code.
+    pub fn lint(&self, set: &SignatureSet) -> Vec<Diagnostic> {
+        let refs: Vec<&HttpPacket> = self.corpus.iter().collect();
+        let mut out = audit::structural(set, &self.config.audit);
+        out.extend(audit::subsumption(set));
+        out.extend(audit::corpus_false_positives(
+            set,
+            &refs,
+            self.config.corpus_max_fraction,
+        ));
+        out.extend(audit::wire_round_trip(set));
+        sort_report(&mut out);
+        out
+    }
+
+    /// [`Linter::lint`] plus the cross-artifact policy check (L010):
+    /// `rows` are the device policy engine's remembered
+    /// `(app, signature_id, allow)` decisions.
+    pub fn lint_with_policy(
+        &self,
+        set: &SignatureSet,
+        rows: &[(String, u32, bool)],
+    ) -> Vec<Diagnostic> {
+        let mut out = self.lint(set);
+        out.extend(audit::policy_references(set, rows));
+        sort_report(&mut out);
+        out
+    }
+}
+
+/// Deterministic report order: errors before warnings, then by signature
+/// id (set-level findings first), then code.
+fn sort_report(diagnostics: &mut [Diagnostic]) {
+    diagnostics.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then(a.signature_id.cmp(&b.signature_id))
+            .then(a.code.cmp(&b.code))
+            .then(a.message.cmp(&b.message))
+    });
+}
+
+/// The bundled benign corpus: the deterministic netsim market's normal
+/// group. Generated once per [`Linter`] construction; the seed is fixed
+/// by configuration, so two runs agree on every L005 verdict.
+fn bundled_corpus(seed: u64, size: usize) -> Vec<HttpPacket> {
+    let data = Dataset::generate(MarketConfig::scaled(seed, 0.02));
+    data.packets
+        .iter()
+        .filter(|p| !p.is_sensitive())
+        .take(size)
+        .map(|p| p.packet.clone())
+        .collect()
+}
+
+/// Count findings at a severity.
+pub fn count_at(diagnostics: &[Diagnostic], severity: Severity) -> usize {
+    diagnostics.iter().filter(|d| d.severity == severity).count()
+}
+
+/// Convenience used by tests and callers: does the report contain a
+/// specific code?
+pub fn contains_code(diagnostics: &[Diagnostic], code: Code) -> bool {
+    diagnostics.iter().any(|d| d.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaksig_core::signature::{ConjunctionSignature, Field, FieldToken};
+
+    fn sig(id: u32, tokens: Vec<FieldToken>) -> ConjunctionSignature {
+        ConjunctionSignature {
+            id,
+            tokens,
+            cluster_size: 2,
+            hosts: vec!["h.example".to_string()],
+        }
+    }
+
+    #[test]
+    fn bundled_corpus_is_deterministic_and_benign() {
+        let linter = Linter::new();
+        assert!(linter.corpus_len() > 200, "corpus {}", linter.corpus_len());
+        let again = Linter::new();
+        assert_eq!(linter.corpus_len(), again.corpus_len());
+    }
+
+    #[test]
+    fn empty_set_is_clean() {
+        assert!(Linter::new().lint(&SignatureSet::default()).is_empty());
+    }
+
+    #[test]
+    fn report_orders_errors_first() {
+        let set = SignatureSet {
+            signatures: vec![
+                // Warning: boilerplate fragment (plus a healthy anchor).
+                sig(
+                    0,
+                    vec![
+                        FieldToken::new(Field::Body, &b"imei=355195000000017"[..]),
+                        FieldToken::new(Field::RequestLine, &b"ST /"[..]),
+                    ],
+                ),
+                // Error: no anchor.
+                sig(1, vec![FieldToken::new(Field::RequestLine, &b"POST /x"[..])]),
+            ],
+        };
+        let report = Linter::new().lint(&set);
+        assert!(report.len() >= 2);
+        assert_eq!(report[0].severity, Severity::Error);
+        assert!(contains_code(&report, Code::MissingAnchor));
+        assert!(contains_code(&report, Code::BoilerplateToken));
+        let first_warning = report
+            .iter()
+            .position(|d| d.severity == Severity::Warning)
+            .unwrap();
+        assert!(report[..first_warning]
+            .iter()
+            .all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn policy_rows_are_checked() {
+        let set = SignatureSet {
+            signatures: vec![sig(
+                3,
+                vec![FieldToken::new(Field::Body, &b"udid=dd72cbaeab8d2e44"[..])],
+            )],
+        };
+        let rows = vec![("app.x".to_string(), 44, true)];
+        let report = Linter::new().lint_with_policy(&set, &rows);
+        assert!(contains_code(&report, Code::UnknownPolicySignature));
+        assert!(has_errors(&report));
+    }
+
+    #[test]
+    fn counts() {
+        let d = vec![
+            Diagnostic::new(Code::MissingAnchor, "x"),
+            Diagnostic::new(Code::BoilerplateToken, "y"),
+        ];
+        assert_eq!(count_at(&d, Severity::Error), 1);
+        assert_eq!(count_at(&d, Severity::Warning), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Report rendering: compiler-style text and schema-stable JSON.
+
+use leaksig_core::audit::{Diagnostic, Severity};
+
+/// Human-readable report, one finding per paragraph, compiler-style:
+///
+/// ```text
+/// error[L003] sig 7: no anchor token of 10 bytes or more (longest is 7): ...
+///   = help: regenerate from a tighter cluster or discard the signature
+///
+/// 1 error, 0 warnings
+/// ```
+pub fn render_text(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diagnostics {
+        out.push_str(&d.to_string());
+        if let Some(f) = d.field {
+            out.push_str(&format!(" [field: {}]", f.tag()));
+        }
+        out.push('\n');
+        if let Some(s) = &d.suggestion {
+            out.push_str(&format!("  = help: {s}\n"));
+        }
+    }
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diagnostics.len() - errors;
+    if !diagnostics.is_empty() {
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{errors} error{}, {warnings} warning{}\n",
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+    ));
+    out
+}
+
+/// Machine-readable report. The schema is stable (asserted by the CLI
+/// integration tests): top-level keys `version`, `errors`, `warnings`,
+/// `diagnostics`; each diagnostic has exactly the keys `code`,
+/// `severity`, `signature_id`, `field`, `message`, `suggestion` in that
+/// order, with `null` for absent optionals. Version bumps on any change.
+pub fn render_json(diagnostics: &[Diagnostic]) -> String {
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diagnostics.len() - errors;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"version\":1,\"errors\":{errors},\"warnings\":{warnings},\"diagnostics\":["
+    ));
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"code\":{},\"severity\":{},\"signature_id\":{},\"field\":{},\"message\":{},\"suggestion\":{}}}",
+            json_string(d.code.as_str()),
+            json_string(d.severity.label()),
+            match d.signature_id {
+                Some(id) => id.to_string(),
+                None => "null".to_string(),
+            },
+            match d.field {
+                Some(f) => json_string(f.tag()),
+                None => "null".to_string(),
+            },
+            json_string(&d.message),
+            match &d.suggestion {
+                Some(s) => json_string(s),
+                None => "null".to_string(),
+            },
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Minimal JSON string encoder (RFC 8259 escaping).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaksig_core::audit::Code;
+    use leaksig_core::signature::Field;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new(Code::MissingAnchor, "no anchor")
+                .on_signature(7)
+                .suggest("discard"),
+            Diagnostic::new(Code::BoilerplateToken, "token \"GET /\"")
+                .on_signature(7)
+                .on_field(Field::RequestLine),
+        ]
+    }
+
+    #[test]
+    fn text_report_shape() {
+        let text = render_text(&sample());
+        assert!(text.contains("error[L003] sig 7: no anchor"));
+        assert!(text.contains("  = help: discard"));
+        assert!(text.contains("[field: rline]"));
+        assert!(text.ends_with("1 error, 1 warning\n"));
+        assert_eq!(render_text(&[]), "0 errors, 0 warnings\n");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let json = render_json(&sample());
+        assert!(json.starts_with("{\"version\":1,\"errors\":1,\"warnings\":1,"));
+        assert!(json.contains(
+            "{\"code\":\"L003\",\"severity\":\"error\",\"signature_id\":7,\"field\":null,"
+        ));
+        assert!(json.contains("\"field\":\"rline\""));
+        // Embedded quotes escape cleanly.
+        assert!(json.contains("token \\\"GET /\\\""));
+        assert_eq!(
+            render_json(&[]),
+            "{\"version\":1,\"errors\":0,\"warnings\":0,\"diagnostics\":[]}"
+        );
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

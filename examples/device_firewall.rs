@@ -30,7 +30,7 @@ fn main() {
     );
 
     let server = SignatureServer::new();
-    server.publish(&set);
+    server.publish(&set).expect("set passes the deploy gate");
 
     // Device side: sync, then gate live traffic.
     let store = SignatureStore::new();

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI would run, in dependency order.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo clippy --workspace --all-targets --all-features -- -D warnings"
+cargo clippy --workspace --all-targets --all-features -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "All checks passed."

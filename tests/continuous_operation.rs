@@ -72,10 +72,12 @@ fn device_reboot_preserves_signatures_and_decisions() {
         .collect();
 
     let publisher = SignatureServer::new();
-    publisher.publish(&generate_signatures(
-        &suspicious,
-        &PipelineConfig::default(),
-    ));
+    publisher
+        .publish(&generate_signatures(
+            &suspicious,
+            &PipelineConfig::default(),
+        ))
+        .unwrap();
     let store = SignatureStore::new();
     store.sync(&publisher).unwrap();
 

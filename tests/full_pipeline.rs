@@ -30,7 +30,7 @@ fn server_to_device_loop() {
 
     // Distribution.
     let server = SignatureServer::new();
-    server.publish(&set);
+    server.publish(&set).unwrap();
     let store = SignatureStore::new();
     assert!(store.sync(&server).unwrap());
     assert_eq!(store.signature_count(), set.len());

@@ -1,0 +1,111 @@
+//! Offline stand-in for `crossbeam`'s scoped threads.
+//!
+//! Only [`scope`] is provided, implemented over `std::thread::scope`
+//! (which did not exist when crossbeam's API was designed). The spawn
+//! closure receives a scope handle argument for signature compatibility;
+//! nested spawning through that handle is supported.
+
+use std::any::Any;
+
+/// What a scoped thread's panic unwinds into.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Handle passed to spawn closures; also supports nested spawns.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish, returning its result or the panic
+    /// payload.
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread bound to this scope. The closure receives the
+    /// scope handle (crossbeam signature); pass `|_| ...` to ignore it.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Run `f` with a thread scope; all spawned threads are joined before
+/// this returns. Returns `Ok` with the closure's value (panics inside
+/// spawned threads propagate out of `std::thread::scope` if unjoined,
+/// matching crossbeam's behavior closely enough for callers that
+/// `.expect()` the result).
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_share_borrowed_data() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn mutable_split_writes() {
+        let mut buf = vec![0u32; 8];
+        scope(|s| {
+            let (a, b) = buf.split_at_mut(4);
+            let ha = s.spawn(move |_| a.iter_mut().for_each(|x| *x = 1));
+            let hb = s.spawn(move |_| b.iter_mut().for_each(|x| *x = 2));
+            ha.join().unwrap();
+            hb.join().unwrap();
+        })
+        .expect("scope");
+        assert_eq!(buf, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let n = scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn scope_closure_panic_is_captured() {
+        let r: Result<(), _> = scope(|_| panic!("boom"));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! Tiny regex-driven string *generator* (not a matcher).
+//!
+//! Supports the pattern subset the workspace's property tests use:
+//! literal characters, character classes (`[a-z0-9.-]`, ranges and
+//! literals, `-` literal when first or last), groups `(...)`,
+//! quantifiers `{n}`, `{n,m}`, `?`, `*`, `+`, top-level and grouped
+//! alternation `a|b`, and `\` escapes. Unbounded quantifiers (`*`, `+`,
+//! `{n,}`) are capped at 8 repetitions.
+
+use crate::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Box<Node>),
+    Concat(Vec<Node>),
+    Alternate(Vec<Node>),
+    Repeat { node: Box<Node>, min: u32, max: u32 },
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Parser<'a> {
+        Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            pattern,
+        }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "unsupported regex {:?} at position {}: {}",
+            self.pattern, self.pos, what
+        );
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, expected: char) {
+        match self.bump() {
+            Some(c) if c == expected => {}
+            _ => self.fail(&format!("expected {expected:?}")),
+        }
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn parse_alternation(&mut self) -> Node {
+        let mut arms = vec![self.parse_concat()];
+        while self.peek() == Some('|') {
+            self.bump();
+            arms.push(self.parse_concat());
+        }
+        if arms.len() == 1 {
+            arms.pop().unwrap()
+        } else {
+            Node::Alternate(arms)
+        }
+    }
+
+    /// concat := (atom quantifier?)*
+    fn parse_concat(&mut self) -> Node {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            let atom = self.parse_atom();
+            items.push(self.parse_quantifier(atom));
+        }
+        if items.len() == 1 {
+            items.pop().unwrap()
+        } else {
+            Node::Concat(items)
+        }
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.bump() {
+            Some('[') => self.parse_class(),
+            Some('(') => {
+                let inner = self.parse_alternation();
+                self.eat(')');
+                Node::Group(Box::new(inner))
+            }
+            Some('\\') => match self.bump() {
+                Some(c) => Node::Literal(c),
+                None => self.fail("dangling escape"),
+            },
+            Some(c @ ('*' | '+' | '?' | '{')) => {
+                self.fail(&format!("quantifier {c:?} with nothing to repeat"))
+            }
+            Some('.') => Node::Class(vec![(' ', '~')]), // any printable ASCII
+            Some(c) => Node::Literal(c),
+            None => self.fail("unexpected end of pattern"),
+        }
+    }
+
+    /// class := '[' entries ']' — already past the '['.
+    fn parse_class(&mut self) -> Node {
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        loop {
+            let c = match self.bump() {
+                Some(']') if !ranges.is_empty() => break,
+                Some('\\') => self.bump().unwrap_or_else(|| self.fail("dangling escape")),
+                Some(c) => c,
+                None => self.fail("unterminated character class"),
+            };
+            // Range `a-z` unless the '-' is the final char of the class.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump(); // '-'
+                let hi = match self.bump() {
+                    Some('\\') => self.bump().unwrap_or_else(|| self.fail("dangling escape")),
+                    Some(hi) => hi,
+                    None => self.fail("unterminated range"),
+                };
+                if hi < c {
+                    self.fail(&format!("inverted range {c}-{hi}"));
+                }
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Node {
+        let (min, max) = match self.peek() {
+            Some('?') => {
+                self.bump();
+                (0, 1)
+            }
+            Some('*') => {
+                self.bump();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                self.bump();
+                (1, UNBOUNDED_CAP)
+            }
+            Some('{') => {
+                self.bump();
+                let min = self.parse_number();
+                let max = match self.peek() {
+                    Some(',') => {
+                        self.bump();
+                        if self.peek() == Some('}') {
+                            min.saturating_add(UNBOUNDED_CAP)
+                        } else {
+                            self.parse_number()
+                        }
+                    }
+                    _ => min,
+                };
+                self.eat('}');
+                if max < min {
+                    self.fail(&format!("quantifier {{{min},{max}}} is inverted"));
+                }
+                (min, max)
+            }
+            _ => return atom,
+        };
+        Node::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            self.fail("expected number in quantifier");
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .unwrap_or_else(|_| self.fail("quantifier bound too large"))
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            // Weight choices by range width for uniformity over chars.
+            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let mut pick = rng.below(total as usize) as u32;
+            for (lo, hi) in ranges {
+                let width = *hi as u32 - *lo as u32 + 1;
+                if pick < width {
+                    out.push(char::from_u32(*lo as u32 + pick).expect("class range char"));
+                    return;
+                }
+                pick -= width;
+            }
+            unreachable!("class pick out of bounds");
+        }
+        Node::Group(inner) => emit(inner, rng, out),
+        Node::Concat(items) => {
+            for item in items {
+                emit(item, rng, out);
+            }
+        }
+        Node::Alternate(arms) => {
+            let i = rng.below(arms.len());
+            emit(&arms[i], rng, out);
+        }
+        Node::Repeat { node, min, max } => {
+            let n = if min == max {
+                *min
+            } else {
+                min + rng.below((*max - *min + 1) as usize) as u32
+            };
+            for _ in 0..n {
+                emit(node, rng, out);
+            }
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let ast = parser.parse_alternation();
+    if parser.pos != parser.chars.len() {
+        parser.fail("trailing characters");
+    }
+    let mut out = String::new();
+    emit(&ast, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("regex_gen")
+    }
+
+    #[test]
+    fn classes_and_counts() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z0-9.-]{1,24}", &mut r);
+            assert!((1..=24).contains(&s.len()), "{s:?}");
+            assert!(s
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'.' || b == b'-'));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[ -~]{0,40}", &mut r);
+            assert!(s.len() <= 40);
+            assert!(s.bytes().all(|b| (0x20..=0x7e).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn optional_group() {
+        let mut r = rng();
+        let mut seen_short = false;
+        let mut seen_long = false;
+        for _ in 0..300 {
+            let s = generate("[a-z]([a-z ]{0,3}[a-z])?", &mut r);
+            assert!(!s.is_empty() && s.len() <= 5, "{s:?}");
+            if s.len() == 1 {
+                seen_short = true;
+            } else {
+                seen_long = true;
+                assert!(!s.ends_with(' '));
+            }
+        }
+        assert!(seen_short && seen_long);
+    }
+
+    #[test]
+    fn alternation_and_escape() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("(foo|ba\\|r)", &mut r);
+            assert!(s == "foo" || s == "ba|r", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_count_and_literals() {
+        let mut r = rng();
+        let s = generate("[0-9]{15}", &mut r);
+        assert_eq!(s.len(), 15);
+        assert_eq!(generate("abc", &mut r), "abc");
+    }
+
+    #[test]
+    fn unbounded_quantifiers_capped() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(generate("a*", &mut r).len() <= 8);
+            let p = generate("b+", &mut r);
+            assert!(!p.is_empty() && p.len() <= 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn unterminated_class_panics() {
+        generate("[a-z", &mut rng());
+    }
+}
