@@ -58,6 +58,140 @@ last 10 audit records:"
     Ok(())
 }
 
+/// `chaos`: drive the full distribution loop under a seeded fault plan
+/// and print the per-attempt event log — a command-line replay of the
+/// chaos soak. Exit code 0 when the device converged to the latest
+/// published version, 1 otherwise.
+pub fn chaos(args: &Args) -> Result<i32, String> {
+    use leaksig_device::{
+        CollectionServer, FaultyTransport, InProcessTransport, RegenerateOutcome, RetryPolicy,
+        SignatureServer, SignatureStore, SyncClient, SyncEventKind,
+    };
+    use leaksig_faults::{CrashPoint, FaultKind, FaultPlan};
+
+    let seed: u64 = args.parsed_or("seed", 42).map_err(|e| e.to_string())?;
+    let kinds: Vec<FaultKind> = FaultKind::parse_list(args.optional("faults").unwrap_or("all"))?;
+    let intensity: f64 = args.parsed_or("intensity", 0.5).map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&intensity) {
+        return Err(format!("--intensity must be in [0, 1], got {intensity}"));
+    }
+    let rounds: usize = args.parsed_or("rounds", 3).map_err(|e| e.to_string())?;
+    if rounds == 0 {
+        return Err("--rounds must be at least 1".to_string());
+    }
+
+    let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+    println!(
+        "chaos: seed {seed}, faults [{}], intensity {intensity}, {rounds} rounds",
+        labels.join(",")
+    );
+
+    // A small synthetic market stands in for the capture loop.
+    let data = Dataset::generate(MarketConfig::scaled(seed, 0.02));
+    let check: PayloadCheck<SensitiveKind> = PayloadCheck::new(data.model.device.all_values());
+    let collector = CollectionServer::new(check, PipelineConfig::default(), 400, seed);
+    let publisher = SignatureServer::new();
+    let store = SignatureStore::new();
+    let mut client = SyncClient::new(
+        FaultyTransport::new(
+            InProcessTransport::new(&publisher),
+            FaultPlan::new(seed, &kinds, intensity),
+        ),
+        RetryPolicy {
+            max_attempts: 24,
+            jitter_seed: seed,
+            ..RetryPolicy::default()
+        },
+    );
+
+    let chunk = data.packets.len().div_ceil(rounds).max(1);
+    for (round, packets) in data.packets.chunks(chunk).take(rounds).enumerate() {
+        for p in packets {
+            collector.ingest(&p.packet);
+        }
+        match collector.regenerate(150, &publisher) {
+            RegenerateOutcome::Published {
+                version,
+                signatures,
+            } => println!("\nround {round}: published v{version} ({signatures} signatures)"),
+            RegenerateOutcome::NoTraffic => {
+                println!("\nround {round}: no suspicious traffic yet")
+            }
+            RegenerateOutcome::Rejected(diags) => {
+                println!("\nround {round}: publish rejected ({} findings)", diags.len())
+            }
+        }
+        let report = client.sync(&store);
+        for ev in &report.events {
+            let detail = match &ev.kind {
+                SyncEventKind::NotModified => "already current".to_string(),
+                SyncEventKind::Dropped => "exchange lost".to_string(),
+                SyncEventKind::TimedOut { latency_ms } => {
+                    format!("response took {latency_ms}ms")
+                }
+                SyncEventKind::StaleReplay { version } => {
+                    format!("replayed v{version}, ignored")
+                }
+                SyncEventKind::FrameRejected { error } => format!("{error}"),
+                SyncEventKind::WireRejected => "checksum ok, wire text unparsable".to_string(),
+                SyncEventKind::GateRejected { errors } => {
+                    format!("{errors} audit errors")
+                }
+                SyncEventKind::Installed { version } => format!("now at v{version}"),
+            };
+            println!(
+                "  attempt {:>2}  +{:>5}ms  {:<14} {detail}",
+                ev.attempt,
+                ev.backoff_ms,
+                ev.kind.tag()
+            );
+        }
+        println!(
+            "  round outcome: {:?}; store v{}, health {}",
+            report.outcome,
+            store.version(),
+            store.health()
+        );
+    }
+
+    // Crash-safe persistence demo: snapshot, tear a write mid-flight,
+    // and show the restore rolling back to the last good generation.
+    let dir = std::env::temp_dir().join(format!("leaksig-chaos-{seed}-{}", std::process::id()));
+    let vault = leaksig_device::SnapshotVault::new(&dir).map_err(|e| e.to_string())?;
+    let saved = vault.save_store(&store).map_err(|e| e.to_string())?;
+    vault
+        .save_store_with_crash(&store, Some(CrashPoint::TornWrite { keep_permille: 400 }))
+        .map_err(|e| e.to_string())?;
+    let (restored, report) = vault.restore_store();
+    println!(
+        "\npersistence: saved gen {saved}, tore gen {} mid-write; restore picked gen {:?} \
+         ({} corrupt skipped), health {}",
+        saved + 1,
+        report.generation,
+        report.skipped_corrupt,
+        report.health
+    );
+    let intact = restored.version() == store.version();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let converged = publisher.version() > 0 && store.version() == publisher.version();
+    let injected = client.transport().injected();
+    println!(
+        "\n{} faults injected; device at v{} of v{}; rollback {}",
+        injected,
+        store.version(),
+        publisher.version(),
+        if intact { "ok" } else { "FAILED" }
+    );
+    if converged && intact {
+        println!("converged");
+        Ok(0)
+    } else {
+        println!("DID NOT CONVERGE");
+        Ok(1)
+    }
+}
+
 /// `market`: synthesize a capture + device file.
 pub fn market(args: &Args) -> Result<(), String> {
     let out = args.required("out").map_err(|e| e.to_string())?;

@@ -32,6 +32,7 @@ commands:
   gate      replay through the device gate: --capture FILE --sigs FILE [--policy allow|block]
   inspect   print a signature set:        --sigs FILE
   lint      audit a signature set:        --sigs FILE [--format text|json]  (exit 1 on errors)
+  chaos     fault-injected sync replay:   [--seed N] [--faults drop,corrupt|all] [--intensity X] [--rounds N]  (exit 1 unless converged)
 ";
 
 fn main() {
@@ -65,6 +66,7 @@ fn run(argv: Vec<String>) -> Result<i32, String> {
         "gate" => commands::gate(&args).map(|()| 0),
         "inspect" => commands::inspect(&args).map(|()| 0),
         "lint" => commands::lint(&args),
+        "chaos" => commands::chaos(&args),
         other => Err(format!("unknown command {other:?}")),
     }
 }

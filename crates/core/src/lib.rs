@@ -82,5 +82,5 @@ pub mod prelude {
         signature_from_cluster, ConjunctionSignature, Field, FieldToken, SignatureConfig,
         SignatureSet,
     };
-    pub use crate::wire::{decode, encode, WireError};
+    pub use crate::wire::{decode, encode, frame, unframe, FrameError, WireError};
 }

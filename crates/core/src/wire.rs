@@ -144,6 +144,109 @@ pub fn decode(text: &str) -> Result<SignatureSet, WireError> {
     Ok(SignatureSet { signatures })
 }
 
+/// Magic first line of the transport envelope.
+const FRAME_MAGIC: &str = "LEAKFRAME/1";
+
+/// Transport-envelope decode failure.
+///
+/// Unlike [`WireError`], which reports *structural* problems in a
+/// signature set, a `FrameError` means the bytes themselves cannot be
+/// trusted: they were truncated, extended, or corrupted between the
+/// server and the device. A frame error must always be handled by
+/// re-fetching, never by installing whatever half-parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first line is not a well-formed `LEAKFRAME/1 <len> <sha1>`.
+    BadHeader,
+    /// The payload length differs from the header's declared length
+    /// (truncated or extended in flight).
+    LengthMismatch {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The payload hashes to something other than the header digest.
+    ChecksumMismatch,
+    /// The payload is not valid UTF-8 (corruption hit a multi-byte run).
+    BadUtf8,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadHeader => write!(f, "missing or mangled {FRAME_MAGIC} header"),
+            FrameError::LengthMismatch { expected, actual } => {
+                write!(f, "frame length mismatch: header says {expected}, got {actual}")
+            }
+            FrameError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            FrameError::BadUtf8 => write!(f, "frame payload is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Wrap wire text in a checksummed transport envelope:
+///
+/// ```text
+/// LEAKFRAME/1 <payload-byte-length> <sha1-hex-of-payload>
+/// <payload...>
+/// ```
+///
+/// The length catches truncation/extension cheaply; the SHA-1 digest
+/// catches in-flight corruption. Returns bytes, not a `String`, because
+/// the framed form is what travels over a fallible transport — the other
+/// end must assume arbitrary mangling, including invalid UTF-8.
+pub fn frame(payload: &str) -> Vec<u8> {
+    let mut out = format!(
+        "{FRAME_MAGIC} {} {}\n",
+        payload.len(),
+        leaksig_hash::sha1_hex(payload.as_bytes())
+    )
+    .into_bytes();
+    out.extend_from_slice(payload.as_bytes());
+    out
+}
+
+/// Verify and strip a transport envelope, returning the trusted payload.
+///
+/// Never panics on arbitrary input; every mangling of a valid frame maps
+/// to a [`FrameError`]. Verification order is length first (cheap),
+/// digest second, UTF-8 last.
+pub fn unframe(data: &[u8]) -> Result<&str, FrameError> {
+    let newline = data
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or(FrameError::BadHeader)?;
+    let header = std::str::from_utf8(&data[..newline]).map_err(|_| FrameError::BadHeader)?;
+    let payload = &data[newline + 1..];
+
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some(FRAME_MAGIC) {
+        return Err(FrameError::BadHeader);
+    }
+    let expected: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(FrameError::BadHeader)?;
+    let digest = parts.next().ok_or(FrameError::BadHeader)?;
+    if parts.next().is_some() {
+        return Err(FrameError::BadHeader);
+    }
+
+    if payload.len() != expected {
+        return Err(FrameError::LengthMismatch {
+            expected,
+            actual: payload.len(),
+        });
+    }
+    if !leaksig_hash::verify_sha1_hex(payload, digest) {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    std::str::from_utf8(payload).map_err(|_| FrameError::BadUtf8)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,5 +358,63 @@ mod tests {
     fn error_display() {
         assert!(WireError::BadMagic.to_string().contains("LEAKSIG/1"));
         assert!(WireError::EmptySignature(3).to_string().contains('3'));
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let text = encode(&sample_set());
+        let framed = frame(&text);
+        assert!(framed.starts_with(b"LEAKFRAME/1 "));
+        assert_eq!(unframe(&framed).unwrap(), text);
+        // The empty payload frames too (an empty set is a valid ship).
+        assert_eq!(unframe(&frame("")).unwrap(), "");
+    }
+
+    #[test]
+    fn unframe_detects_truncation_extension_and_corruption() {
+        let text = encode(&sample_set());
+        let framed = frame(&text);
+
+        // Truncation anywhere in the payload → length mismatch.
+        assert!(matches!(
+            unframe(&framed[..framed.len() - 3]),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+        // Extension → length mismatch too.
+        let mut longer = framed.clone();
+        longer.extend_from_slice(b"xx");
+        assert!(matches!(
+            unframe(&longer),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+        // A same-length byte flip in the payload → checksum mismatch.
+        let mut flipped = framed.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x41;
+        assert_eq!(unframe(&flipped), Err(FrameError::ChecksumMismatch));
+        // A mangled header → BadHeader, not a panic.
+        let mut bad_header = framed.clone();
+        bad_header[0] = b'X';
+        assert_eq!(unframe(&bad_header), Err(FrameError::BadHeader));
+        // Garbage and the degenerate empty input.
+        assert_eq!(unframe(b""), Err(FrameError::BadHeader));
+        assert_eq!(unframe(b"LEAKFRAME/1"), Err(FrameError::BadHeader));
+        assert_eq!(
+            unframe(b"LEAKFRAME/1 zz da39\npayload"),
+            Err(FrameError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn frame_error_display() {
+        assert!(FrameError::BadHeader.to_string().contains("LEAKFRAME/1"));
+        assert!(FrameError::LengthMismatch {
+            expected: 9,
+            actual: 4
+        }
+        .to_string()
+        .contains('9'));
+        assert!(FrameError::ChecksumMismatch.to_string().contains("checksum"));
+        assert!(FrameError::BadUtf8.to_string().contains("UTF-8"));
     }
 }

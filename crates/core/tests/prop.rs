@@ -188,6 +188,40 @@ proptest! {
         let _ = decode(&corrupted);
     }
 
+    /// The `LEAKFRAME/1` envelope round-trips any encodable payload.
+    #[test]
+    fn frame_round_trips(set in arb_wire_set()) {
+        let text = encode(&set);
+        let framed = frame(&text);
+        prop_assert_eq!(unframe(&framed).unwrap(), text.as_str());
+    }
+
+    /// Unframing never panics, whatever the bytes — arbitrary garbage,
+    /// a valid frame truncated at any byte, or a valid frame with any
+    /// single byte flipped. Any mutation of a valid frame must be
+    /// *detected*, not silently accepted.
+    #[test]
+    fn unframe_total_on_arbitrary_and_mutated_input(
+        set in arb_wire_set(),
+        garbage in proptest::collection::vec(any::<u8>(), 0..256),
+        cut_frac in 0.0f64..1.0,
+        flip_at_frac in 0.0f64..1.0,
+        flip_mask in 1u8..=255,
+    ) {
+        let _ = unframe(&garbage);
+
+        let framed = frame(&encode(&set));
+        let cut = (framed.len() as f64 * cut_frac) as usize;
+        if cut < framed.len() {
+            prop_assert!(unframe(&framed[..cut]).is_err(), "truncation accepted");
+        }
+
+        let mut flipped = framed.clone();
+        let at = ((flipped.len() - 1) as f64 * flip_at_frac) as usize;
+        flipped[at] ^= flip_mask;
+        prop_assert!(unframe(&flipped).is_err(), "bit flip at {} accepted", at);
+    }
+
     /// Needle matching agrees with a std oracle on arbitrary inputs.
     #[test]
     fn needle_oracle(hay in proptest::collection::vec(any::<u8>(), 0..200),

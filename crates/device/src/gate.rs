@@ -5,9 +5,16 @@
 //! a prompt. Every decision is appended to an audit log so the user can
 //! review what their apps have been transmitting — the visibility the
 //! paper argues Android itself does not provide.
+//!
+//! The gate also consults the store's [`StoreHealth`]: when the signature
+//! set cannot be trusted (corrupt restore, or too many failed sync
+//! generations), a configurable [`GateConfig`] decides between failing
+//! *open* (keep forwarding on the last known set — availability) and
+//! failing *closed* (block everything until a trusted set returns —
+//! containment).
 
 use crate::policy::{PolicyEngine, UserChoice, Verdict};
-use crate::store::SignatureStore;
+use crate::store::{SignatureStore, StoreHealth};
 use leaksig_http::HttpPacket;
 use parking_lot::Mutex;
 
@@ -28,6 +35,65 @@ pub enum GateAction {
         /// Signature that fired.
         signature_id: u32,
     },
+    /// Dropped because the signature store is in a degraded state and the
+    /// gate is configured to fail closed for it (no signature matched —
+    /// none could be trusted to).
+    DegradedBlocked {
+        /// The health state that triggered the lockdown.
+        health: StoreHealth,
+    },
+}
+
+/// How the gate behaves while the signature store is degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Keep enforcing with whatever is installed (availability wins).
+    FailOpen,
+    /// Block all traffic until the store recovers (containment wins).
+    FailClosed,
+}
+
+/// Per-health-state degraded-mode policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateConfig {
+    /// Staleness (in failed sync generations) at which `on_stale` kicks
+    /// in; below it a stale store is treated as healthy.
+    pub stale_after: u64,
+    /// Behavior once staleness reaches `stale_after`.
+    pub on_stale: DegradedMode,
+    /// Behavior while nothing was ever installed (version 0).
+    pub on_empty: DegradedMode,
+    /// Behavior after a restore that found only corrupt snapshots.
+    pub on_corrupt: DegradedMode,
+}
+
+impl Default for GateConfig {
+    /// Defaults mirror the paper's deployment posture: an empty or
+    /// merely stale store keeps the phone usable (fail open — the device
+    /// simply detects less), but a corrupt store fails closed, because a
+    /// detector whose state was tampered with or destroyed can no longer
+    /// vouch for *anything* it forwards.
+    fn default() -> Self {
+        GateConfig {
+            stale_after: 3,
+            on_stale: DegradedMode::FailOpen,
+            on_empty: DegradedMode::FailOpen,
+            on_corrupt: DegradedMode::FailClosed,
+        }
+    }
+}
+
+impl GateConfig {
+    /// The mode applying to `health`, or `None` when healthy enough.
+    fn mode_for(&self, health: StoreHealth) -> Option<DegradedMode> {
+        match health {
+            StoreHealth::Fresh => None,
+            StoreHealth::Empty => Some(self.on_empty),
+            StoreHealth::Corrupt => Some(self.on_corrupt),
+            StoreHealth::Stale { rounds } if rounds >= self.stale_after => Some(self.on_stale),
+            StoreHealth::Stale { .. } => None,
+        }
+    }
 }
 
 /// One audit-log record.
@@ -63,11 +129,14 @@ pub struct GateStats {
     pub blocked: u64,
     /// Prompts raised.
     pub prompted: u64,
+    /// Packets dropped by fail-closed degraded mode.
+    pub degraded_blocked: u64,
 }
 
 /// The information-flow-control gate.
 pub struct PacketGate<'a> {
     store: &'a SignatureStore,
+    config: GateConfig,
     state: Mutex<GateState>,
 }
 
@@ -82,12 +151,24 @@ struct GateState {
 }
 
 impl<'a> PacketGate<'a> {
-    /// Gate backed by the given signature store.
+    /// Gate backed by the given signature store, with the default
+    /// degraded-mode policy (see [`GateConfig::default`]).
     pub fn new(store: &'a SignatureStore) -> Self {
+        Self::with_config(store, GateConfig::default())
+    }
+
+    /// Gate with an explicit degraded-mode policy.
+    pub fn with_config(store: &'a SignatureStore, config: GateConfig) -> Self {
         PacketGate {
             store,
+            config,
             state: Mutex::new(GateState::default()),
         }
+    }
+
+    /// The active degraded-mode policy.
+    pub fn config(&self) -> GateConfig {
+        self.config
     }
 
     fn log(state: &mut GateState, app: &str, host: &str, sig: Option<u32>, action: &str) {
@@ -103,7 +184,26 @@ impl<'a> PacketGate<'a> {
     }
 
     /// Intercept an outgoing packet from `app`.
+    ///
+    /// When the store's health puts the gate in fail-closed degraded
+    /// mode, every packet is dropped (and audited as `degraded-block`)
+    /// without consulting signatures or policy — an untrusted set must
+    /// not get a vote. Fail-open states fall through to normal
+    /// enforcement with whatever is installed.
     pub fn intercept(&self, app: &str, packet: &HttpPacket) -> GateAction {
+        let health = self.store.health();
+        if self.config.mode_for(health) == Some(DegradedMode::FailClosed) {
+            let mut state = self.state.lock();
+            state.stats.degraded_blocked += 1;
+            Self::log(
+                &mut state,
+                app,
+                &packet.destination.host,
+                None,
+                "degraded-block",
+            );
+            return GateAction::DegradedBlocked { health };
+        }
         let matched = self.store.match_packet(packet).map(|d| d.signature_id);
         let mut state = self.state.lock();
         match state.policy.decide(app, matched) {
@@ -339,6 +439,9 @@ mod tests {
                             }
                             GateAction::Blocked { .. } => {}
                             GateAction::Forwarded => panic!("leak forwarded"),
+                            GateAction::DegradedBlocked { health } => {
+                                panic!("healthy store reported degraded ({health})")
+                            }
                         }
                         assert_eq!(gate.intercept(&app, &clean()), GateAction::Forwarded);
                     }
@@ -358,6 +461,100 @@ mod tests {
         seqs.sort_unstable();
         seqs.dedup();
         assert_eq!(seqs.len(), log.len());
+    }
+
+    #[test]
+    fn corrupt_store_fails_closed_by_default() {
+        let store = armed_store();
+        store.mark_corrupt();
+        let gate = PacketGate::new(&store);
+        // Even clean traffic is locked down: the detector cannot vouch
+        // for anything.
+        let action = gate.intercept("app.x", &clean());
+        assert_eq!(
+            action,
+            GateAction::DegradedBlocked {
+                health: crate::StoreHealth::Corrupt
+            }
+        );
+        assert_eq!(gate.stats().degraded_blocked, 1);
+        assert_eq!(gate.stats().forwarded, 0);
+        let log = gate.audit_log();
+        assert_eq!(log[0].action, "degraded-block");
+        assert_eq!(log[0].signature_id, None);
+
+        // Recovery: a trusted install clears the flag and traffic flows.
+        let fresh = armed_store();
+        store
+            .install(fresh.version() + 1, &fresh.wire_text())
+            .unwrap();
+        assert_eq!(gate.intercept("app.x", &clean()), GateAction::Forwarded);
+    }
+
+    #[test]
+    fn stale_store_fails_open_by_default_closed_when_configured() {
+        let store = armed_store();
+        for _ in 0..5 {
+            store.note_sync_failure();
+        }
+        // Default: stale fails open — enforcement continues on the old set.
+        let open_gate = PacketGate::new(&store);
+        assert_eq!(open_gate.intercept("app.x", &clean()), GateAction::Forwarded);
+        assert!(matches!(
+            open_gate.intercept("app.x", &leak("1")),
+            GateAction::PendingPrompt { .. }
+        ));
+
+        // Opt-in containment: stale beyond the threshold fails closed.
+        let strict = GateConfig {
+            stale_after: 3,
+            on_stale: DegradedMode::FailClosed,
+            ..GateConfig::default()
+        };
+        let closed_gate = PacketGate::with_config(&store, strict);
+        assert_eq!(closed_gate.config().stale_after, 3);
+        assert_eq!(
+            closed_gate.intercept("app.x", &clean()),
+            GateAction::DegradedBlocked {
+                health: crate::StoreHealth::Stale { rounds: 5 }
+            }
+        );
+
+        // One successful sync generation reopens the strict gate.
+        store.note_sync_success();
+        assert_eq!(closed_gate.intercept("app.x", &clean()), GateAction::Forwarded);
+    }
+
+    #[test]
+    fn stale_below_threshold_is_healthy_enough() {
+        let store = armed_store();
+        store.note_sync_failure(); // 1 < default threshold of 3
+        let strict = GateConfig {
+            on_stale: DegradedMode::FailClosed,
+            ..GateConfig::default()
+        };
+        let gate = PacketGate::with_config(&store, strict);
+        assert_eq!(gate.intercept("app.x", &clean()), GateAction::Forwarded);
+    }
+
+    #[test]
+    fn empty_store_can_be_configured_to_fail_closed() {
+        let store = SignatureStore::new();
+        // Default: empty fails open (fresh device keeps working).
+        let gate = PacketGate::new(&store);
+        assert_eq!(gate.intercept("app.x", &clean()), GateAction::Forwarded);
+        // Paranoid profile: no signatures, no traffic.
+        let strict = GateConfig {
+            on_empty: DegradedMode::FailClosed,
+            ..GateConfig::default()
+        };
+        let gate = PacketGate::with_config(&store, strict);
+        assert!(matches!(
+            gate.intercept("app.x", &clean()),
+            GateAction::DegradedBlocked {
+                health: crate::StoreHealth::Empty
+            }
+        ));
     }
 
     #[test]

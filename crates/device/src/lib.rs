@@ -9,11 +9,19 @@
 //! This crate reproduces that component's logic:
 //!
 //! * [`SignatureServer`] / [`SignatureStore`] — versioned publish/fetch of
-//!   signature sets over the `leaksig-core` wire format;
+//!   signature sets over the `leaksig-core` wire format, with a
+//!   [`StoreHealth`] ledger (fresh/stale/corrupt/empty) the gate consults;
+//! * [`Transport`] / [`SyncClient`] — the fallible distribution channel:
+//!   checksummed `LEAKFRAME/1` envelopes, capped exponential backoff with
+//!   deterministic jitter, version-conditional fetch, and a
+//!   [`FaultyTransport`] wrapper injecting seeded faults for chaos tests;
 //! * [`PolicyEngine`] — per-`(app, signature)` decision cache
 //!   (allow/block/prompt semantics);
 //! * [`PacketGate`] — the interception point: match → decide → forward,
-//!   block, or park behind a prompt, with a full audit log.
+//!   block, or park behind a prompt, with a full audit log and
+//!   configurable fail-open/fail-closed degraded modes ([`GateConfig`]);
+//! * [`persist`] — reboot-safe snapshots, including the crash-safe
+//!   checksummed [`SnapshotVault`](persist::SnapshotVault).
 //!
 //! What is *not* simulated is the Android plumbing itself (a VPN-service
 //! or local-proxy capture loop); the gate takes packets as values, which
@@ -24,9 +32,17 @@ pub mod persist;
 mod policy;
 mod server;
 mod store;
+pub mod transport;
 
-pub use gate::{AuditRecord, GateAction, GateStats, PacketGate};
-pub use persist::{decode_policy, decode_store, encode_policy, encode_store, PersistError};
+pub use gate::{AuditRecord, DegradedMode, GateAction, GateConfig, GateStats, PacketGate};
+pub use persist::{
+    decode_policy, decode_store, encode_policy, encode_store, PersistError, RestoreReport,
+    SnapshotVault,
+};
 pub use policy::{FlowKey, PolicyEngine, UserChoice, Verdict};
-pub use server::{CollectionServer, ServerStats};
-pub use store::{InstallError, SignatureServer, SignatureStore};
+pub use server::{CollectionServer, RegenerateOutcome, ServerStats};
+pub use store::{InstallError, SignatureServer, SignatureStore, StoreHealth};
+pub use transport::{
+    Fetched, FaultyTransport, InProcessTransport, RetryPolicy, SyncClient, SyncEvent,
+    SyncEventKind, SyncOutcome, SyncReport, Transport, TransportError,
+};

@@ -18,12 +18,22 @@
 //! LEAKSIG/1
 //! ...
 //! ```
+//!
+//! On-disk durability is handled by [`SnapshotVault`]: checksummed,
+//! generation-numbered snapshot files (`LEAKSNAP/1` header) written
+//! temp-then-rename so a crash at any point leaves either the old or the
+//! new snapshot fully intact, and a restore path that walks generations
+//! newest-first, discarding anything the checksum disowns, until it finds
+//! the last known good state.
 
 use crate::policy::{PolicyEngine, UserChoice};
-use crate::store::SignatureStore;
+use crate::store::{SignatureStore, StoreHealth};
+use leaksig_faults::CrashPoint;
+use std::path::{Path, PathBuf};
 
 const POLICY_MAGIC: &str = "LEAKPOLICY/1";
 const STORE_MAGIC: &str = "LEAKSTORE/1";
+const SNAP_MAGIC: &str = "LEAKSNAP/1";
 
 /// Persistence failure with a user-facing message.
 #[derive(Debug)]
@@ -105,6 +115,258 @@ pub fn decode_store(text: &str) -> Result<SignatureStore, PersistError> {
     Ok(store)
 }
 
+/// Checksummed, generation-numbered, crash-safe snapshot storage for the
+/// signature store.
+///
+/// Each save writes `store.<generation>.snap`:
+///
+/// ```text
+/// LEAKSNAP/1 <generation> <body-byte-length> <sha1-hex-of-body>
+/// LEAKSTORE/1 <version>
+/// LEAKSIG/1
+/// ...
+/// ```
+///
+/// via a temp file renamed into place, so the final path only ever holds
+/// a complete snapshot on a POSIX filesystem. Restore walks generations
+/// newest-first and verifies length + checksum + decode before trusting
+/// one; a torn or bit-rotted newest snapshot therefore *rolls back* to
+/// the previous generation instead of corrupting the device.
+#[derive(Debug)]
+pub struct SnapshotVault {
+    dir: PathBuf,
+    /// Good generations retained after a save (older ones are pruned).
+    keep: usize,
+}
+
+/// What [`SnapshotVault::restore_store`] found on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Generation actually restored (`None` = nothing usable on disk).
+    pub generation: Option<u64>,
+    /// Snapshot files that failed verification and were skipped.
+    pub skipped_corrupt: usize,
+    /// Health the restored store reports.
+    pub health: StoreHealth,
+}
+
+impl RestoreReport {
+    /// Whether a newer-but-damaged snapshot was bypassed in favour of an
+    /// older good one.
+    pub fn rolled_back(&self) -> bool {
+        self.skipped_corrupt > 0 && self.generation.is_some()
+    }
+}
+
+impl SnapshotVault {
+    /// A vault rooted at `dir` (created if absent), retaining the 3 most
+    /// recent good generations.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<SnapshotVault, PersistError> {
+        Self::with_retention(dir, 3)
+    }
+
+    /// A vault retaining `keep` generations (minimum 1).
+    pub fn with_retention(dir: impl Into<PathBuf>, keep: usize) -> Result<SnapshotVault, PersistError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| PersistError(format!("cannot create {}: {e}", dir.display())))?;
+        Ok(SnapshotVault {
+            dir,
+            keep: keep.max(1),
+        })
+    }
+
+    fn snap_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("store.{generation}.snap"))
+    }
+
+    /// Generations currently on disk, ascending (content unverified).
+    pub fn generations(&self) -> Vec<u64> {
+        let mut gens: Vec<u64> = match std::fs::read_dir(&self.dir) {
+            Err(_) => return Vec::new(),
+            Ok(rd) => rd
+                .filter_map(|e| e.ok())
+                .filter_map(|e| parse_generation(&e.path()))
+                .collect(),
+        };
+        gens.sort_unstable();
+        gens.dedup();
+        gens
+    }
+
+    /// Persist `store` as the next generation. Returns the generation
+    /// written.
+    pub fn save_store(&self, store: &SignatureStore) -> Result<u64, PersistError> {
+        self.save_store_with_crash(store, None)
+            .map(|g| g.expect("no crash injected"))
+    }
+
+    /// [`SnapshotVault::save_store`] with an injected crash for chaos
+    /// testing. Returns `Ok(None)` when the simulated power loss struck
+    /// (the vault may now hold a torn file for restore to reject).
+    pub fn save_store_with_crash(
+        &self,
+        store: &SignatureStore,
+        crash: Option<CrashPoint>,
+    ) -> Result<Option<u64>, PersistError> {
+        let generation = self.generations().last().copied().unwrap_or(0) + 1;
+        let body = encode_store(store);
+        let mut snap = format!(
+            "{SNAP_MAGIC} {generation} {} {}\n",
+            body.len(),
+            leaksig_hash::sha1_hex(body.as_bytes())
+        );
+        snap.push_str(&body);
+
+        let final_path = self.snap_path(generation);
+        let tmp_path = self.dir.join(format!("store.{generation}.snap.tmp"));
+        let write = |path: &Path, bytes: &[u8]| {
+            std::fs::write(path, bytes)
+                .map_err(|e| PersistError(format!("cannot write {}: {e}", path.display())))
+        };
+
+        match crash {
+            Some(CrashPoint::BeforeWrite) => return Ok(None),
+            Some(CrashPoint::TornWrite { keep_permille }) => {
+                // A non-atomic writer died mid-flush: partial bytes in
+                // the final path. Restore must catch this via checksum.
+                let mut torn = snap.into_bytes();
+                leaksig_faults::truncate_bytes(&mut torn, keep_permille);
+                write(&final_path, &torn)?;
+                return Ok(None);
+            }
+            Some(CrashPoint::BeforeRename) => {
+                // Crash between temp write and rename: orphan temp only.
+                write(&tmp_path, snap.as_bytes())?;
+                return Ok(None);
+            }
+            None => {}
+        }
+
+        write(&tmp_path, snap.as_bytes())?;
+        std::fs::rename(&tmp_path, &final_path)
+            .map_err(|e| PersistError(format!("cannot rename into {}: {e}", final_path.display())))?;
+        self.prune(generation);
+        Ok(Some(generation))
+    }
+
+    /// Drop generations older than the retention window, plus any orphan
+    /// temp files from interrupted saves.
+    fn prune(&self, newest: u64) {
+        for gen in self.generations() {
+            if gen + self.keep as u64 <= newest {
+                let _ = std::fs::remove_file(self.snap_path(gen));
+            }
+        }
+        if let Ok(rd) = std::fs::read_dir(&self.dir) {
+            for entry in rd.filter_map(|e| e.ok()) {
+                let path = entry.path();
+                if path.extension().is_some_and(|e| e == "tmp") {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+    }
+
+    /// Restore the newest verifiable snapshot.
+    ///
+    /// Walks generations newest-first; each candidate must pass the
+    /// `LEAKSNAP/1` header check, the length + SHA-1 verification, and
+    /// [`decode_store`] (which includes the deploy gate). The first
+    /// survivor wins. When nothing on disk is usable the device restarts
+    /// on an empty store — marked [`StoreHealth::Corrupt`] if damaged
+    /// snapshots were present (so the gate can fail closed), or
+    /// [`StoreHealth::Empty`] on a genuinely fresh device.
+    pub fn restore_store(&self) -> (SignatureStore, RestoreReport) {
+        let mut skipped = 0usize;
+        for gen in self.generations().into_iter().rev() {
+            let path = self.snap_path(gen);
+            let Ok(bytes) = std::fs::read(&path) else {
+                skipped += 1;
+                continue;
+            };
+            match verify_snapshot(&bytes, gen) {
+                Ok(body) => match decode_store(body) {
+                    Ok(store) => {
+                        let report = RestoreReport {
+                            generation: Some(gen),
+                            skipped_corrupt: skipped,
+                            health: store.health(),
+                        };
+                        return (store, report);
+                    }
+                    Err(_) => skipped += 1,
+                },
+                Err(_) => skipped += 1,
+            }
+        }
+        let store = SignatureStore::new();
+        if skipped > 0 {
+            store.mark_corrupt();
+        }
+        let report = RestoreReport {
+            generation: None,
+            skipped_corrupt: skipped,
+            health: store.health(),
+        };
+        (store, report)
+    }
+}
+
+/// `store.<gen>.snap` → `gen`.
+fn parse_generation(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let rest = name.strip_prefix("store.")?;
+    let gen = rest.strip_suffix(".snap")?;
+    gen.parse().ok()
+}
+
+/// Verify a `LEAKSNAP/1` file: header shape, generation echo, declared
+/// length, SHA-1. Returns the trusted body text.
+fn verify_snapshot(bytes: &[u8], expect_gen: u64) -> Result<&str, PersistError> {
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| PersistError("snapshot has no header line".to_string()))?;
+    let header = std::str::from_utf8(&bytes[..newline])
+        .map_err(|_| PersistError("snapshot header is not UTF-8".to_string()))?;
+    let body = &bytes[newline + 1..];
+
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some(SNAP_MAGIC) {
+        return Err(PersistError(format!("missing {SNAP_MAGIC} header")));
+    }
+    let gen: u64 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| PersistError("bad generation in snapshot header".to_string()))?;
+    if gen != expect_gen {
+        return Err(PersistError(format!(
+            "snapshot header claims generation {gen}, file name says {expect_gen}"
+        )));
+    }
+    let len: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| PersistError("bad length in snapshot header".to_string()))?;
+    let digest = parts
+        .next()
+        .ok_or_else(|| PersistError("missing digest in snapshot header".to_string()))?;
+    if parts.next().is_some() {
+        return Err(PersistError("trailing junk in snapshot header".to_string()));
+    }
+    if body.len() != len {
+        return Err(PersistError(format!(
+            "snapshot body length {} does not match declared {len} (torn write?)",
+            body.len()
+        )));
+    }
+    if !leaksig_hash::verify_sha1_hex(body, digest) {
+        return Err(PersistError("snapshot checksum mismatch".to_string()));
+    }
+    std::str::from_utf8(body).map_err(|_| PersistError("snapshot body is not UTF-8".to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +435,157 @@ mod tests {
         assert!(decode_store("WAT 1\nLEAKSIG/1\n").is_err());
         assert!(decode_store("LEAKSTORE/1 x\nLEAKSIG/1\n").is_err());
         assert!(decode_store("LEAKSTORE/1 3\nnot-signatures\n").is_err());
+    }
+
+    fn armed_store(version: u64) -> SignatureStore {
+        let mk = |slot: &str| {
+            RequestBuilder::get("/getad")
+                .query("imei", "355195000000017")
+                .query("slot", slot)
+                .destination(Ipv4Addr::new(203, 0, 113, 3), 80, "ad-maker.info")
+                .build()
+        };
+        let set = generate_signatures(&[&mk("1"), &mk("2")], &{
+            let mut cfg = PipelineConfig::default();
+            cfg.signature.include_singletons = false;
+            cfg
+        });
+        let store = SignatureStore::new();
+        store
+            .install(version, &leaksig_core::wire::encode(&set))
+            .unwrap();
+        store
+    }
+
+    fn temp_vault_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "leaksig-vault-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn vault_round_trip_and_retention() {
+        let dir = temp_vault_dir("roundtrip");
+        let vault = SnapshotVault::new(&dir).unwrap();
+
+        // No snapshots yet: a fresh device, not a corrupt one.
+        let (empty, report) = vault.restore_store();
+        assert_eq!(report.generation, None);
+        assert_eq!(report.health, StoreHealth::Empty);
+        assert_eq!(empty.version(), 0);
+
+        for v in 1..=5u64 {
+            let store = armed_store(v);
+            assert_eq!(vault.save_store(&store).unwrap(), v);
+        }
+        // Retention keeps the 3 newest generations.
+        assert_eq!(vault.generations(), vec![3, 4, 5]);
+
+        let (restored, report) = vault.restore_store();
+        assert_eq!(report.generation, Some(5));
+        assert!(!report.rolled_back());
+        assert_eq!(restored.version(), 5);
+        assert_eq!(restored.health(), StoreHealth::Fresh);
+        assert!(restored.signature_count() >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_rolls_back_to_last_known_good() {
+        use leaksig_faults::CrashPoint;
+        let dir = temp_vault_dir("torn");
+        let vault = SnapshotVault::new(&dir).unwrap();
+        vault.save_store(&armed_store(1)).unwrap();
+
+        // Power loss mid-write: half the bytes of generation 2 land in
+        // the final path.
+        let crashed = vault
+            .save_store_with_crash(
+                &armed_store(2),
+                Some(CrashPoint::TornWrite { keep_permille: 500 }),
+            )
+            .unwrap();
+        assert_eq!(crashed, None);
+        assert_eq!(vault.generations(), vec![1, 2], "torn file is present");
+
+        let (restored, report) = vault.restore_store();
+        assert_eq!(report.generation, Some(1), "rolled back past the torn file");
+        assert_eq!(report.skipped_corrupt, 1);
+        assert!(report.rolled_back());
+        assert_eq!(restored.version(), 1);
+        assert_eq!(restored.health(), StoreHealth::Fresh);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_before_rename_preserves_old_state() {
+        use leaksig_faults::CrashPoint;
+        let dir = temp_vault_dir("prerename");
+        let vault = SnapshotVault::new(&dir).unwrap();
+        vault.save_store(&armed_store(1)).unwrap();
+
+        for crash in [CrashPoint::BeforeWrite, CrashPoint::BeforeRename] {
+            let crashed = vault
+                .save_store_with_crash(&armed_store(9), Some(crash))
+                .unwrap();
+            assert_eq!(crashed, None);
+            let (restored, report) = vault.restore_store();
+            assert_eq!(report.generation, Some(1));
+            assert_eq!(report.skipped_corrupt, 0, "atomic protocol: no damage");
+            assert_eq!(restored.version(), 1);
+        }
+        // The next clean save sweeps the orphan temp file.
+        vault.save_store(&armed_store(2)).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "orphan temp files pruned");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_generations_corrupt_restores_empty_and_flags_it() {
+        let dir = temp_vault_dir("allbad");
+        let vault = SnapshotVault::new(&dir).unwrap();
+        vault.save_store(&armed_store(1)).unwrap();
+        vault.save_store(&armed_store(2)).unwrap();
+        // Bit-rot both snapshots on disk.
+        for gen in vault.generations() {
+            let path = dir.join(format!("store.{gen}.snap"));
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        let (restored, report) = vault.restore_store();
+        assert_eq!(report.generation, None);
+        assert_eq!(report.skipped_corrupt, 2);
+        assert_eq!(report.health, StoreHealth::Corrupt);
+        assert_eq!(restored.version(), 0, "no corrupt snapshot was trusted");
+        assert_eq!(restored.health(), StoreHealth::Corrupt);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_header_lies_are_rejected() {
+        let dir = temp_vault_dir("lies");
+        let vault = SnapshotVault::new(&dir).unwrap();
+        vault.save_store(&armed_store(1)).unwrap();
+        let path = dir.join("store.1.snap");
+        let original = std::fs::read_to_string(&path).unwrap();
+
+        // A file renamed to masquerade as a different generation fails
+        // the generation echo check.
+        std::fs::write(dir.join("store.7.snap"), &original).unwrap();
+        let (restored, report) = vault.restore_store();
+        assert_eq!(report.generation, Some(1), "impostor generation skipped");
+        assert_eq!(report.skipped_corrupt, 1);
+        assert_eq!(restored.version(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -30,6 +30,42 @@ pub struct ServerStats {
     pub normal: u64,
     /// Signature regenerations performed.
     pub regenerations: u64,
+    /// Regenerations whose result the publisher's deploy gate refused.
+    pub rejected_publishes: u64,
+}
+
+/// What one [`CollectionServer::regenerate`] run produced.
+///
+/// Distinguishes "no suspicious traffic yet" from "the pipeline ran but
+/// the deploy gate refused the result" — operationally opposite
+/// conditions (wait vs. investigate) that the old `Option<u64>` return
+/// collapsed into one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegenerateOutcome {
+    /// A gated set was published at this version.
+    Published {
+        /// Version the publisher assigned.
+        version: u64,
+        /// Signatures in the published set.
+        signatures: usize,
+    },
+    /// The reservoir is empty; nothing to cluster yet.
+    NoTraffic,
+    /// The pipeline ran but the publisher's deploy gate refused the set
+    /// (possible only under a loosened `PipelineConfig`); devices keep
+    /// their current set.
+    Rejected(Vec<Diagnostic>),
+}
+
+impl RegenerateOutcome {
+    /// The published version, if any (compatibility shim for callers
+    /// that only care about success).
+    pub fn published(&self) -> Option<u64> {
+        match self {
+            RegenerateOutcome::Published { version, .. } => Some(*version),
+            _ => None,
+        }
+    }
 }
 
 /// The collection + generation server.
@@ -103,37 +139,59 @@ impl<T: Copy + Eq + Send> CollectionServer<T> {
     }
 
     /// Run the §IV pipeline over (up to) `n` reservoir packets, validate
-    /// against the normal ring, and publish to `server`. Returns the
-    /// published version, or `None` when no suspicious traffic exists yet
-    /// — or when the freshly generated set fails the publisher's deploy
-    /// gate (possible only under a loosened `PipelineConfig`), in which
-    /// case nothing is published and devices keep their current set.
-    pub fn regenerate(&self, n: usize, server: &SignatureServer) -> Option<u64> {
-        let mut st = self.state.lock();
-        if st.reservoir.is_empty() {
-            return None;
-        }
-        // Sample n of the reservoir (it is already uniform; take a prefix
-        // of a shuffle for sub-sampling determinism).
-        let mut idx: Vec<usize> = (0..st.reservoir.len()).collect();
-        for i in (1..idx.len()).rev() {
-            let j = st.rng.random_range(0..=i as u64) as usize;
-            idx.swap(i, j);
-        }
-        idx.truncate(n);
-        let sample: Vec<&leaksig_http::HttpPacket> =
-            idx.iter().map(|&i| &st.reservoir[i]).collect();
+    /// against the normal ring, and publish to `server`.
+    ///
+    /// The state mutex is held only while *sampling* (cloning the chosen
+    /// packets out) and while bumping counters afterwards; the expensive
+    /// §IV run — clustering, signature generation, FP pruning — happens
+    /// outside the lock, so `ingest` keeps flowing during regeneration.
+    pub fn regenerate(&self, n: usize, server: &SignatureServer) -> RegenerateOutcome {
+        // Phase 1 (locked): sample n of the reservoir (it is already
+        // uniform; take a prefix of a shuffle for sub-sampling
+        // determinism) and clone out what the pipeline needs.
+        let (sample, normal) = {
+            let mut st = self.state.lock();
+            if st.reservoir.is_empty() {
+                return RegenerateOutcome::NoTraffic;
+            }
+            let mut idx: Vec<usize> = (0..st.reservoir.len()).collect();
+            for i in (1..idx.len()).rev() {
+                let j = st.rng.random_range(0..=i as u64) as usize;
+                idx.swap(i, j);
+            }
+            idx.truncate(n);
+            let sample: Vec<leaksig_http::HttpPacket> =
+                idx.iter().map(|&i| st.reservoir[i].clone()).collect();
+            let normal: Vec<leaksig_http::HttpPacket> = match self.config.fp_validation {
+                Some(v) => st.normal_ring.iter().take(v.sample).cloned().collect(),
+                None => Vec::new(),
+            };
+            (sample, normal)
+        };
 
-        let mut set = generate_signatures(&sample, &self.config);
+        // Phase 2 (unlocked): the §IV pipeline.
+        let sample_refs: Vec<&leaksig_http::HttpPacket> = sample.iter().collect();
+        let mut set = generate_signatures(&sample_refs, &self.config);
         if let Some(v) = self.config.fp_validation {
-            let normal: Vec<&leaksig_http::HttpPacket> =
-                st.normal_ring.iter().take(v.sample).collect();
-            prune_against_normal(&mut set, &normal, v.max_hits);
+            let normal_refs: Vec<&leaksig_http::HttpPacket> = normal.iter().collect();
+            prune_against_normal(&mut set, &normal_refs, v.max_hits);
         }
         drop_dominated(&mut set);
+        let publish = server.publish(&set);
 
+        // Phase 3 (locked): account for the run.
+        let mut st = self.state.lock();
         st.stats.regenerations += 1;
-        server.publish(&set).ok()
+        match publish {
+            Ok(version) => RegenerateOutcome::Published {
+                version,
+                signatures: set.len(),
+            },
+            Err(diags) => {
+                st.stats.rejected_publishes += 1;
+                RegenerateOutcome::Rejected(diags)
+            }
+        }
     }
 
     /// Counter snapshot.
@@ -206,15 +264,29 @@ mod tests {
     fn regenerate_publishes_working_signatures() {
         let srv = server();
         let publisher = SignatureServer::new();
-        assert_eq!(srv.regenerate(20, &publisher), None, "nothing ingested yet");
+        assert_eq!(
+            srv.regenerate(20, &publisher),
+            RegenerateOutcome::NoTraffic,
+            "nothing ingested yet"
+        );
+        assert_eq!(srv.stats().regenerations, 0, "no-traffic runs don't count");
 
         for i in 0..100 {
             srv.ingest(&leak(i));
             srv.ingest(&clean(i));
         }
-        let version = srv.regenerate(20, &publisher).expect("publishes");
+        let outcome = srv.regenerate(20, &publisher);
+        let RegenerateOutcome::Published {
+            version,
+            signatures,
+        } = outcome
+        else {
+            panic!("expected publish, got {outcome:?}");
+        };
         assert_eq!(version, 1);
+        assert!(signatures >= 1);
         assert_eq!(srv.stats().regenerations, 1);
+        assert_eq!(srv.stats().rejected_publishes, 0);
 
         // A device syncs and detects fresh module traffic.
         let store = SignatureStore::new();
@@ -223,6 +295,73 @@ mod tests {
         assert!(store.match_packet(&clean(999)).is_none());
 
         // Second regeneration bumps the version.
-        assert_eq!(srv.regenerate(20, &publisher), Some(2));
+        assert_eq!(srv.regenerate(20, &publisher).published(), Some(2));
+    }
+
+    #[test]
+    fn gate_rejection_is_visible_not_swallowed() {
+        // A deliberately loosened pipeline (tiny anchor requirement, no
+        // pipeline-side gate) over traffic leaking a *short* identifier:
+        // every substring the cluster shares is under the default
+        // 10-byte anchor, so the generated signature is a §VI hazard the
+        // publisher's deploy gate must refuse — visibly, not as a
+        // silent `None`.
+        let mut config = PipelineConfig::default();
+        config.signature.min_anchor_len = 5;
+        config.signature.include_singletons = false;
+        config.deploy_gate = false;
+        config.fp_validation = None;
+        let srv = CollectionServer::new(PayloadCheck::new([("k", "short12")]), config, 8, 7);
+        let weak = |path: &str, q: &str, v: &str, val: &str| {
+            RequestBuilder::get(path)
+                .query(q, "short12")
+                .query(v, val)
+                .destination(Ipv4Addr::new(203, 0, 113, 9), 80, "weak.example")
+                .build()
+        };
+        assert!(srv.ingest(&weak("/aa", "ak", "x", "0001")));
+        assert!(srv.ingest(&weak("/bb", "bz", "y", "0202")));
+
+        let publisher = SignatureServer::new();
+        let outcome = srv.regenerate(8, &publisher);
+        let RegenerateOutcome::Rejected(diags) = &outcome else {
+            panic!("expected a deploy-gate rejection, got {outcome:?}");
+        };
+        assert!(!diags.is_empty());
+        assert_eq!(outcome.published(), None);
+        assert_eq!(publisher.version(), 0, "nothing was published");
+        let stats = srv.stats();
+        assert_eq!(stats.regenerations, 1, "the run itself is counted");
+        assert_eq!(stats.rejected_publishes, 1, "...and so is the rejection");
+    }
+
+    #[test]
+    fn ingest_proceeds_while_regenerating() {
+        // Load enough traffic that the §IV pipeline takes measurable
+        // time, then race ingest against regenerate. With the sample
+        // cloned out under the lock, ingest must never wait for the
+        // pipeline; we assert completion (no deadlock) and that both
+        // sides observed a consistent final state.
+        let srv = std::sync::Arc::new(server());
+        for i in 0..200 {
+            srv.ingest(&leak(i));
+            srv.ingest(&clean(i));
+        }
+        let publisher = SignatureServer::new();
+        let srv2 = srv.clone();
+        std::thread::scope(|scope| {
+            let regen = scope.spawn(|| srv.regenerate(60, &publisher).published());
+            let ingest = scope.spawn(move || {
+                for i in 0..200 {
+                    srv2.ingest(&leak(1000 + i));
+                }
+            });
+            assert_eq!(regen.join().unwrap(), Some(1));
+            ingest.join().unwrap();
+        });
+        let stats = srv.stats();
+        assert_eq!(stats.ingested, 600);
+        assert_eq!(stats.suspicious, 400);
+        assert_eq!(stats.regenerations, 1);
     }
 }

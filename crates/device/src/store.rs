@@ -92,21 +92,69 @@ impl SignatureServer {
     }
 }
 
+/// Trustworthiness of the installed signature set, as seen by the
+/// enforcement gate.
+///
+/// Staleness is measured in *logical sync generations* — consecutive
+/// failed sync rounds — not wall-clock time, so chaos tests and real
+/// deployments share the same semantics deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreHealth {
+    /// Nothing was ever installed (version 0). The device cannot detect
+    /// anything yet.
+    Empty,
+    /// The last sync round succeeded (installed or confirmed up to date).
+    Fresh,
+    /// `rounds` consecutive sync rounds have failed since the last
+    /// success; the installed set may lag the server arbitrarily.
+    Stale {
+        /// Consecutive failed sync rounds.
+        rounds: u64,
+    },
+    /// Restore-from-disk found only corrupt snapshots; the store is
+    /// running on an empty set it cannot vouch for.
+    Corrupt,
+}
+
+impl std::fmt::Display for StoreHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreHealth::Empty => write!(f, "empty"),
+            StoreHealth::Fresh => write!(f, "fresh"),
+            StoreHealth::Stale { rounds } => write!(f, "stale ({rounds} failed rounds)"),
+            StoreHealth::Corrupt => write!(f, "corrupt"),
+        }
+    }
+}
+
 /// Device-side store: the detector currently in force plus its version
 /// and the wire text it was installed from (kept for persistence).
 #[derive(Debug)]
 pub struct SignatureStore {
-    inner: RwLock<(u64, Detector, String)>,
+    inner: RwLock<StoreState>,
+}
+
+#[derive(Debug)]
+struct StoreState {
+    version: u64,
+    detector: Detector,
+    wire_text: String,
+    /// Consecutive failed sync rounds since the last success.
+    stale_rounds: u64,
+    /// Set when restore-from-disk could not produce a trusted snapshot.
+    corrupt: bool,
 }
 
 impl Default for SignatureStore {
     fn default() -> Self {
         SignatureStore {
-            inner: RwLock::new((
-                0,
-                Detector::new(SignatureSet::default()),
-                wire::encode(&SignatureSet::default()),
-            )),
+            inner: RwLock::new(StoreState {
+                version: 0,
+                detector: Detector::new(SignatureSet::default()),
+                wire_text: wire::encode(&SignatureSet::default()),
+                stale_rounds: 0,
+                corrupt: false,
+            }),
         }
     }
 }
@@ -119,12 +167,49 @@ impl SignatureStore {
 
     /// Version of the installed set.
     pub fn version(&self) -> u64 {
-        self.inner.read().0
+        self.inner.read().version
     }
 
     /// Number of installed signatures.
     pub fn signature_count(&self) -> usize {
-        self.inner.read().1.signatures().len()
+        self.inner.read().detector.signatures().len()
+    }
+
+    /// Current health (see [`StoreHealth`]).
+    pub fn health(&self) -> StoreHealth {
+        let st = self.inner.read();
+        if st.corrupt {
+            StoreHealth::Corrupt
+        } else if st.version == 0 {
+            StoreHealth::Empty
+        } else if st.stale_rounds > 0 {
+            StoreHealth::Stale {
+                rounds: st.stale_rounds,
+            }
+        } else {
+            StoreHealth::Fresh
+        }
+    }
+
+    /// Record a successful sync round that confirmed the installed set is
+    /// current (a fresh install resets staleness by itself).
+    pub fn note_sync_success(&self) {
+        let mut st = self.inner.write();
+        st.stale_rounds = 0;
+        st.corrupt = false;
+    }
+
+    /// Record a failed sync round (every attempt exhausted). Each call
+    /// ages the store by one logical generation.
+    pub fn note_sync_failure(&self) {
+        let mut st = self.inner.write();
+        st.stale_rounds = st.stale_rounds.saturating_add(1);
+    }
+
+    /// Mark the store as running without a trusted snapshot (restore
+    /// found only corruption). Cleared by the next successful install.
+    pub fn mark_corrupt(&self) {
+        self.inner.write().corrupt = true;
     }
 
     /// Install a set from wire text at an explicit version. Decoded sets
@@ -135,7 +220,7 @@ impl SignatureStore {
     pub fn install(&self, version: u64, wire_text: &str) -> Result<(), InstallError> {
         let set = wire::decode(wire_text)?;
         audit::deploy_check(&set).map_err(InstallError::Rejected)?;
-        *self.inner.write() = (version, Detector::new(set), wire_text.to_string());
+        self.commit(version, set, wire_text);
         Ok(())
     }
 
@@ -143,13 +228,25 @@ impl SignatureStore {
     /// must still parse.
     pub fn install_unchecked(&self, version: u64, wire_text: &str) -> Result<(), WireError> {
         let set = wire::decode(wire_text)?;
-        *self.inner.write() = (version, Detector::new(set), wire_text.to_string());
+        self.commit(version, set, wire_text);
         Ok(())
+    }
+
+    /// Swap in a fully validated set. A successful install is by
+    /// definition a successful sync generation: staleness and the corrupt
+    /// flag reset.
+    fn commit(&self, version: u64, set: SignatureSet, wire_text: &str) {
+        let mut st = self.inner.write();
+        st.version = version;
+        st.detector = Detector::new(set);
+        st.wire_text = wire_text.to_string();
+        st.stale_rounds = 0;
+        st.corrupt = false;
     }
 
     /// The wire text of the installed set (persistence support).
     pub fn wire_text(&self) -> String {
-        self.inner.read().2.clone()
+        self.inner.read().wire_text.clone()
     }
 
     /// Pull from `server` if it has something newer. Returns `true` when
@@ -157,22 +254,28 @@ impl SignatureStore {
     pub fn sync(&self, server: &SignatureServer) -> Result<bool, InstallError> {
         let have = self.version();
         match server.fetch(have) {
-            Some((version, text)) => {
-                self.install(version, &text)?;
-                Ok(true)
+            Some((version, text)) => match self.install(version, &text) {
+                Ok(()) => Ok(true),
+                Err(e) => {
+                    self.note_sync_failure();
+                    Err(e)
+                }
+            },
+            None => {
+                self.note_sync_success();
+                Ok(false)
             }
-            None => Ok(false),
         }
     }
 
     /// Run the installed detector against a packet.
     pub fn match_packet(&self, packet: &leaksig_http::HttpPacket) -> Option<Detection> {
-        self.inner.read().1.match_packet(packet)
+        self.inner.read().detector.match_packet(packet)
     }
 
     /// Detection evidence for a user prompt (see [`Explanation`]).
     pub fn explain(&self, packet: &leaksig_http::HttpPacket) -> Option<Explanation> {
-        self.inner.read().1.explain(packet)
+        self.inner.read().detector.explain(packet)
     }
 }
 
@@ -293,6 +396,50 @@ mod tests {
         // The publisher refuses the same set at the source.
         let bad = wire::decode(&pathological_wire()).unwrap();
         assert!(server.publish(&bad).is_err());
+    }
+
+    #[test]
+    fn health_tracks_sync_generations() {
+        let store = SignatureStore::new();
+        assert_eq!(store.health(), StoreHealth::Empty);
+
+        let server = SignatureServer::new();
+        server.publish(&one_signature_set()).unwrap();
+        store.sync(&server).unwrap();
+        assert_eq!(store.health(), StoreHealth::Fresh);
+
+        // Failed rounds age the store one generation at a time.
+        store.note_sync_failure();
+        assert_eq!(store.health(), StoreHealth::Stale { rounds: 1 });
+        store.note_sync_failure();
+        assert_eq!(store.health(), StoreHealth::Stale { rounds: 2 });
+
+        // An up-to-date confirmation heals it.
+        store.note_sync_success();
+        assert_eq!(store.health(), StoreHealth::Fresh);
+
+        // Corruption dominates until the next trusted install.
+        store.mark_corrupt();
+        assert_eq!(store.health(), StoreHealth::Corrupt);
+        server.publish(&one_signature_set()).unwrap();
+        store.sync(&server).unwrap();
+        assert_eq!(store.health(), StoreHealth::Fresh);
+    }
+
+    #[test]
+    fn failed_install_ages_health_via_sync() {
+        let server = SignatureServer::new();
+        let store = SignatureStore::new();
+        server.publish(&one_signature_set()).unwrap();
+        store.sync(&server).unwrap();
+
+        // Push a pathological set past the publisher gate, then watch the
+        // device-side sync refuse it and record the failed round.
+        let bad = wire::decode(&pathological_wire()).unwrap();
+        server.publish_unchecked(&bad);
+        assert!(store.sync(&server).is_err());
+        assert_eq!(store.health(), StoreHealth::Stale { rounds: 1 });
+        assert_eq!(store.version(), 1, "rejected set is never installed");
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Property tests for the device crate's untrusted-input surfaces: the
+//! persistence decoders and the crash-safe snapshot vault must be total
+//! (error, never panic) on arbitrary, truncated, or bit-flipped input,
+//! and a torn write must never surface as a half-installed store.
+
+use leaksig_core::prelude::*;
+use leaksig_core::signature::{ConjunctionSignature, Field, FieldToken};
+use leaksig_core::wire;
+use leaksig_device::persist::{decode_policy, decode_store, encode_store, SnapshotVault};
+use leaksig_device::{SignatureStore, StoreHealth};
+use leaksig_faults::CrashPoint;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn arb_token() -> impl Strategy<Value = FieldToken> {
+    (
+        prop_oneof![
+            Just(Field::RequestLine),
+            Just(Field::Cookie),
+            Just(Field::Body),
+        ],
+        // Long enough that the deploy gate's anchor-length check (which
+        // `decode_store` runs on restore) accepts the signature.
+        proptest::collection::vec(any::<u8>(), 12..24),
+        any::<u32>(),
+    )
+        .prop_map(|(field, bytes, hint)| FieldToken::with_hint(field, bytes, hint))
+}
+
+/// Signature sets that (almost always) pass the deploy gate: unique ids,
+/// anchor-length tokens. Cases the gate still rejects are discarded via
+/// `prop_assume!` at the use site.
+fn arb_set() -> impl Strategy<Value = SignatureSet> {
+    proptest::collection::vec(
+        (
+            1usize..20,
+            proptest::collection::vec("[a-z0-9.-]{1,12}", 0..3),
+            proptest::collection::vec(arb_token(), 1..4),
+        ),
+        0..4,
+    )
+    .prop_map(|sigs| SignatureSet {
+        signatures: sigs
+            .into_iter()
+            .enumerate()
+            .map(|(id, (cluster_size, hosts, tokens))| ConjunctionSignature {
+                id: id as u32,
+                tokens,
+                cluster_size,
+                hosts,
+            })
+            .collect(),
+    })
+}
+
+/// Whether the checked installer (and therefore `decode_store`) accepts
+/// this set.
+fn installable(set: &SignatureSet) -> bool {
+    SignatureStore::new().install(1, &wire::encode(set)).is_ok()
+}
+
+fn arb_crash() -> impl Strategy<Value = Option<CrashPoint>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(CrashPoint::BeforeWrite)),
+        (0u16..1000).prop_map(|keep_permille| Some(CrashPoint::TornWrite { keep_permille })),
+        Just(Some(CrashPoint::BeforeRename)),
+    ]
+}
+
+/// A fresh per-case vault directory (proptest cases run sequentially but
+/// a failing case must not poison the next one's state).
+fn scratch_dir() -> std::path::PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "leaksig-device-prop-{}-{n}",
+        std::process::id()
+    ))
+}
+
+fn stored(version: u64, set: &SignatureSet) -> SignatureStore {
+    let store = SignatureStore::new();
+    store
+        .install_unchecked(version, &wire::encode(set))
+        .expect("encodable set installs");
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The persistence decoders never panic on arbitrary text.
+    #[test]
+    fn decoders_are_total_on_arbitrary_text(
+        junk in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let text = String::from_utf8_lossy(&junk);
+        let _ = decode_store(&text);
+        let _ = decode_policy(&text);
+    }
+
+    /// Nor on a valid store snapshot truncated at any char boundary or
+    /// with an arbitrary junk line appended.
+    #[test]
+    fn store_decoder_is_total_on_damaged_snapshots(
+        set in arb_set(),
+        version in 1u64..1000,
+        cut_frac in 0.0f64..1.0,
+        junk in "[a-zA-Z0-9 =]{0,32}",
+    ) {
+        let text = encode_store(&stored(version, &set));
+        let mut cut = (text.len() as f64 * cut_frac) as usize;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = decode_store(&text[..cut]);
+        let _ = decode_store(&format!("{text}{junk}\n"));
+    }
+
+    /// A full snapshot round-trips the store exactly.
+    #[test]
+    fn vault_round_trips_any_encodable_store(set in arb_set(), version in 1u64..1000) {
+        prop_assume!(installable(&set));
+        let dir = scratch_dir();
+        let store = stored(version, &set);
+        let vault = SnapshotVault::new(&dir).unwrap();
+        vault.save_store(&store).unwrap();
+        let (restored, report) = vault.restore_store();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(report.skipped_corrupt, 0);
+        prop_assert_eq!(restored.version(), version);
+        prop_assert_eq!(restored.wire_text(), store.wire_text());
+    }
+
+    /// A crash at any point while persisting a newer state restores
+    /// either the old state or the new one, in full — never a blend, and
+    /// never a panic.
+    #[test]
+    fn vault_restore_is_atomic_under_crashes(
+        old in arb_set(),
+        new in arb_set(),
+        crash in arb_crash(),
+    ) {
+        prop_assume!(installable(&old) && installable(&new));
+        let dir = scratch_dir();
+        let vault = SnapshotVault::new(&dir).unwrap();
+        let store = stored(1, &old);
+        vault.save_store(&store).unwrap();
+        store.install_unchecked(2, &wire::encode(&new)).unwrap();
+        let saved = vault.save_store_with_crash(&store, crash).unwrap();
+
+        let (restored, report) = vault.restore_store();
+        std::fs::remove_dir_all(&dir).ok();
+
+        match crash {
+            None => {
+                prop_assert_eq!(saved, Some(2));
+                prop_assert_eq!(restored.version(), 2);
+                prop_assert_eq!(restored.wire_text(), wire::encode(&new));
+            }
+            Some(_) => {
+                // The crashed save persisted nothing trustworthy: restore
+                // rolls back to generation 1 in full.
+                prop_assert_eq!(saved, None);
+                prop_assert_eq!(restored.version(), 1);
+                prop_assert_eq!(restored.wire_text(), wire::encode(&old));
+            }
+        }
+        prop_assert_eq!(restored.health(), StoreHealth::Fresh);
+        prop_assert!(report.generation.is_some());
+    }
+}

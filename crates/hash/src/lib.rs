@@ -70,6 +70,35 @@ pub fn sha1_hex(data: &[u8]) -> String {
     encode_hex(&h.finalize())
 }
 
+/// Check `data` against an expected SHA-1 hex digest (case-insensitive).
+///
+/// This is the integrity primitive behind the `LEAKFRAME/1` transport
+/// envelope and the `LEAKSNAP/1` persistence snapshots: a digest mismatch
+/// means the bytes were truncated or corrupted in flight or on disk.
+/// Malformed `expected` strings (wrong length, non-hex) simply verify as
+/// `false` — a mangled header must never pass.
+///
+/// ```
+/// assert!(leaksig_hash::verify_sha1_hex(
+///     b"",
+///     "DA39A3EE5E6B4B0D3255BFEF95601890AFD80709"
+/// ));
+/// assert!(!leaksig_hash::verify_sha1_hex(b"x", "da39"));
+/// ```
+pub fn verify_sha1_hex(data: &[u8], expected: &str) -> bool {
+    if expected.len() != 2 * Sha1::OUTPUT_LEN {
+        return false;
+    }
+    match decode_hex(expected) {
+        Ok(want) => {
+            let mut h = Sha1::new();
+            h.update(data);
+            h.finalize() == want
+        }
+        Err(_) => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,7 +27,7 @@ fn main() {
         for p in chunk {
             collector.ingest(&p.packet);
         }
-        if let Some(version) = collector.regenerate(200, &publisher) {
+        if let Some(version) = collector.regenerate(200, &publisher).published() {
             store.sync(&publisher).expect("sync");
             let stats = collector.stats();
             println!(

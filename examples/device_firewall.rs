@@ -64,7 +64,9 @@ fn main() {
                 );
                 gate.answer(prompt_id, choice).expect("valid prompt");
             }
-            GateAction::Blocked { .. } | GateAction::Forwarded => {}
+            GateAction::Blocked { .. }
+            | GateAction::Forwarded
+            | GateAction::DegradedBlocked { .. } => {}
         }
         replayed += 1;
     }

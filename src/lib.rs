@@ -18,7 +18,8 @@
 //! | [`core`] | `leaksig-core` | distances, clustering, signatures, detection, evaluation, pipeline |
 //! | [`http`] | `leaksig-http` | HTTP request model, parser, builder |
 //! | [`netsim`] | `leaksig-netsim` | synthetic Android-market traffic generator |
-//! | [`device`] | `leaksig-device` | signature store, policy engine, packet gate |
+//! | [`device`] | `leaksig-device` | signature store, policy engine, packet gate, resilient sync client |
+//! | [`faults`] | `leaksig-faults` | seeded deterministic fault injection (drops, corruption, crash points) |
 //! | [`compress`] | `leaksig-compress` | LZSS/LZW compressors, NCD |
 //! | [`textdist`] | `leaksig-textdist` | edit distance, suffix automaton, token extraction |
 //! | [`hash`] | `leaksig-hash` | MD5, SHA-1, hex |
@@ -53,6 +54,7 @@
 pub use leaksig_compress as compress;
 pub use leaksig_core as core;
 pub use leaksig_device as device;
+pub use leaksig_faults as faults;
 pub use leaksig_hash as hash;
 pub use leaksig_http as http;
 pub use leaksig_netsim as netsim;

@@ -22,7 +22,10 @@ fn continuous_ingest_regenerate_sync_loop() {
     for p in &data.packets[..half] {
         collector.ingest(&p.packet);
     }
-    let v1 = collector.regenerate(150, &publisher).expect("signatures");
+    let v1 = collector
+        .regenerate(150, &publisher)
+        .published()
+        .expect("signatures");
     assert_eq!(v1, 1);
     assert!(store.sync(&publisher).unwrap());
     let sigs_v1 = store.signature_count();
@@ -50,7 +53,7 @@ fn continuous_ingest_regenerate_sync_loop() {
     for p in &data.packets[half..] {
         collector.ingest(&p.packet);
     }
-    assert_eq!(collector.regenerate(250, &publisher), Some(2));
+    assert_eq!(collector.regenerate(250, &publisher).published(), Some(2));
     assert!(store.sync(&publisher).unwrap());
     assert_eq!(store.version(), 2);
 

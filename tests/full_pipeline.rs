@@ -51,6 +51,9 @@ fn server_to_device_loop() {
             }
             GateAction::Blocked { .. } => blocked_after_decision += 1,
             GateAction::Forwarded => {}
+            GateAction::DegradedBlocked { health } => {
+                panic!("freshly synced store reported degraded ({health})")
+            }
         }
     }
     let stats = gate.stats();
