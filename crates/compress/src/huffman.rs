@@ -210,6 +210,43 @@ impl Compressor for Huffman {
         out
     }
 
+    /// `C(data)` without building the bitstream: the coded size is the
+    /// header (tag + RLE'd length table + count) plus `Σ freq[s]·len[s]`
+    /// bits, and the stored fallback caps it at `data.len() + 1` exactly
+    /// as [`Compressor::compress`] does.
+    fn compressed_len(&self, data: &[u8]) -> usize {
+        if data.is_empty() {
+            return 1; // TAG_EMPTY
+        }
+        let mut freq = [0u64; 256];
+        for &b in data {
+            freq[b as usize] += 1;
+        }
+        let distinct = freq.iter().filter(|&&f| f > 0).count();
+        if distinct == 1 {
+            return 6; // TAG_RUN + symbol + 4-byte count
+        }
+        let lengths = code_lengths(&freq);
+        // Table size: 2 bytes per (length, run) pair, runs capped at 255.
+        let mut table = 0usize;
+        let mut i = 0usize;
+        while i < 256 {
+            let mut run = 1usize;
+            while i + run < 256 && lengths[i + run] == lengths[i] && run < 255 {
+                run += 1;
+            }
+            table += 2;
+            i += run;
+        }
+        let bits: u64 = freq
+            .iter()
+            .zip(lengths.iter())
+            .map(|(&f, &l)| f * l as u64)
+            .sum();
+        let coded = 1 + table + 4 + (bits as usize).div_ceil(8);
+        coded.min(data.len() + 1) // stored fallback
+    }
+
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecodeError> {
         match data.first() {
             None => Err(DecodeError::Truncated),
@@ -312,6 +349,13 @@ impl Lzh {
 impl Compressor for Lzh {
     fn compress(&self, data: &[u8]) -> Vec<u8> {
         Huffman.compress(&self.lzss.compress(data))
+    }
+
+    /// The entropy stage's count-only path over the (materialized) LZSS
+    /// stream — the Huffman bitstream, the larger of the two buffers, is
+    /// never built.
+    fn compressed_len(&self, data: &[u8]) -> usize {
+        Huffman.compressed_len(&self.lzss.compress(data))
     }
 
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecodeError> {

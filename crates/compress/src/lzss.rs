@@ -101,6 +101,14 @@ impl Lzss {
     }
 }
 
+/// Where the encoder's tokens go: materialized bytes ([`TokenWriter`]) or
+/// a running byte count ([`TokenCounter`]). One encode loop serves both,
+/// so the size-only path can never drift from the real stream layout.
+trait TokenSink {
+    fn literal(&mut self, b: u8);
+    fn back_ref(&mut self, offset: usize, len: usize);
+}
+
 /// Incremental token writer that maintains the control-byte groups.
 struct TokenWriter {
     out: Vec<u8>,
@@ -130,7 +138,9 @@ impl TokenWriter {
         }
         self.ctrl_used += 1;
     }
+}
 
+impl TokenSink for TokenWriter {
     fn literal(&mut self, b: u8) {
         self.begin_token(false);
         self.out.push(b);
@@ -160,14 +170,51 @@ impl TokenWriter {
     }
 }
 
-impl Compressor for Lzss {
-    fn compress(&self, data: &[u8]) -> Vec<u8> {
-        let mut w = TokenWriter::new(data.len() / 2 + 16);
+/// Counts the bytes [`TokenWriter`] would emit without allocating them.
+#[derive(Default)]
+struct TokenCounter {
+    len: usize,
+    ctrl_used: u8,
+}
+
+impl TokenCounter {
+    fn begin_token(&mut self) {
+        if self.ctrl_used == 0 {
+            self.len += 1; // fresh control byte
+            self.ctrl_used = 8;
+        }
+        self.ctrl_used -= 1;
+    }
+}
+
+impl TokenSink for TokenCounter {
+    fn literal(&mut self, _b: u8) {
+        self.begin_token();
+        self.len += 1;
+    }
+
+    fn back_ref(&mut self, _offset: usize, len: usize) {
+        self.begin_token();
+        self.len += 2;
+        let l = len - MIN_MATCH;
+        if l >= LEN_EXTENDED as usize {
+            // One extension byte per 255 of remaining length, plus the
+            // terminating byte (mirrors the writer's emit loop exactly).
+            let rest = l - LEN_EXTENDED as usize;
+            self.len += rest / 255 + 1;
+        }
+    }
+}
+
+impl Lzss {
+    /// The encode loop, parameterized over the sink: [`Compressor::compress`]
+    /// materializes, [`Compressor::compressed_len`] counts.
+    fn encode<S: TokenSink>(&self, data: &[u8], w: &mut S) {
         if data.len() < MIN_MATCH {
             for &b in data {
                 w.literal(b);
             }
-            return w.out;
+            return;
         }
 
         let mut head = vec![-1i32; HASH_SIZE];
@@ -200,7 +247,22 @@ impl Compressor for Lzss {
                 }
             }
         }
+    }
+}
+
+impl Compressor for Lzss {
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut w = TokenWriter::new(data.len() / 2 + 16);
+        self.encode(data, &mut w);
         w.out
+    }
+
+    /// `C(data)` without materializing the stream: the same hash-chain
+    /// encode drives a byte counter instead of an output buffer.
+    fn compressed_len(&self, data: &[u8]) -> usize {
+        let mut c = TokenCounter::default();
+        self.encode(data, &mut c);
+        c.len
     }
 
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecodeError> {

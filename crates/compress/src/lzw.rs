@@ -139,6 +139,34 @@ impl Compressor for Lzw {
         w.finish()
     }
 
+    /// `C(data)` without packing bits: the stream is `ncodes` 12-bit codes
+    /// (including RESET markers) zero-padded to a byte boundary, so its
+    /// length is exactly `ceil(12 · ncodes / 8)` — only the code *count*
+    /// is needed, which the same dictionary walk provides.
+    fn compressed_len(&self, data: &[u8]) -> usize {
+        if data.is_empty() {
+            return 0;
+        }
+        let mut ncodes = 0usize;
+        let mut dict = EncDict::new();
+        let mut cur: u16 = data[0] as u16;
+        for &b in &data[1..] {
+            match dict.lookup(cur, b) {
+                Some(code) => cur = code,
+                None => {
+                    ncodes += 1;
+                    if dict.insert(cur, b) {
+                        ncodes += 1; // RESET
+                        dict = EncDict::new();
+                    }
+                    cur = b as u16;
+                }
+            }
+        }
+        ncodes += 1;
+        (ncodes * CODE_BITS as usize).div_ceil(8)
+    }
+
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecodeError> {
         // Decoder dictionary: entry i denotes string(prefix) + last, where
         // codes 0..=255 are the single-byte strings and entry i has code

@@ -92,6 +92,37 @@ proptest! {
         prop_assert!(d_self <= d_foil + 0.05, "{} > {}", d_self, d_foil);
     }
 
+    /// The count-only `compressed_len` overrides report exactly the
+    /// length of the stream `compress` materializes — for every
+    /// compressor, on every input.
+    #[test]
+    fn lzss_count_only_len_is_exact(data in payload()) {
+        let c = Lzss::default();
+        prop_assert_eq!(c.compressed_len(&data), c.compress(&data).len());
+    }
+
+    #[test]
+    fn lzss_count_only_len_is_exact_any_chain(data in payload(), chain in 1usize..64) {
+        let c = Lzss::with_max_chain(chain);
+        prop_assert_eq!(c.compressed_len(&data), c.compress(&data).len());
+    }
+
+    #[test]
+    fn lzw_count_only_len_is_exact(data in payload()) {
+        prop_assert_eq!(Lzw.compressed_len(&data), Lzw.compress(&data).len());
+    }
+
+    #[test]
+    fn huffman_count_only_len_is_exact(data in payload()) {
+        prop_assert_eq!(Huffman.compressed_len(&data), Huffman.compress(&data).len());
+    }
+
+    #[test]
+    fn lzh_count_only_len_is_exact(data in payload()) {
+        let c = Lzh::default();
+        prop_assert_eq!(c.compressed_len(&data), c.compress(&data).len());
+    }
+
     /// Compression length is monotone-ish under concatenation:
     /// C(xy) ≤ C(x) + C(y) + slack (subadditivity, a normality axiom).
     #[test]

@@ -1,7 +1,16 @@
 //! The detector: apply a signature set to packets.
+//!
+//! Matching runs on the compiled engine ([`crate::engine`]): construction
+//! compiles the set's tokens into per-field multi-pattern automata once,
+//! and every `match_*` call is a linear pass over the packet's bytes
+//! regardless of signature count. [`Detector::scan`] additionally fans a
+//! large batch out across cores with scoped threads (mirroring
+//! [`crate::matrix::pairwise`]), one scratch per worker.
 
+use crate::engine::{CompiledDetector, ScanScratch};
 use crate::signature::{ConjunctionSignature, SignatureSet};
 use leaksig_http::HttpPacket;
+use std::sync::Mutex;
 
 /// How a signature is judged against a packet.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,10 +28,25 @@ pub enum MatchMode {
 }
 
 /// A compiled signature set ready for high-volume matching.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Detector {
     set: SignatureSet,
     mode: MatchMode,
+    engine: CompiledDetector,
+    /// Scratch for the single-packet entry points; batch scans use
+    /// per-thread scratches instead of contending on this lock.
+    scratch: Mutex<ScanScratch>,
+}
+
+impl Clone for Detector {
+    fn clone(&self) -> Self {
+        Detector {
+            set: self.set.clone(),
+            mode: self.mode,
+            engine: self.engine.clone(),
+            scratch: Mutex::new(self.engine.scratch()),
+        }
+    }
 }
 
 /// A positive detection.
@@ -46,17 +70,14 @@ pub struct Explanation {
 }
 
 impl Detector {
-    /// Wrap a signature set with conjunction matching. Tokens are already
-    /// ordered longest-first by generation; no further compilation is
-    /// needed.
+    /// Compile a signature set for conjunction matching. Construction is
+    /// where the multi-pattern automata are built — install/restore time
+    /// on a device, never the per-packet path.
     pub fn new(set: SignatureSet) -> Self {
-        Detector {
-            set,
-            mode: MatchMode::Conjunction,
-        }
+        Self::with_mode(set, MatchMode::Conjunction)
     }
 
-    /// Wrap a signature set with an explicit match mode.
+    /// Compile a signature set with an explicit match mode.
     pub fn with_mode(set: SignatureSet, mode: MatchMode) -> Self {
         if let MatchMode::Fraction(f) = mode {
             assert!(
@@ -64,14 +85,13 @@ impl Detector {
                 "fraction threshold must be in (0, 1], got {f}"
             );
         }
-        Detector { set, mode }
-    }
-
-    fn sig_matches(&self, sig: &ConjunctionSignature, packet: &HttpPacket) -> bool {
-        match self.mode {
-            MatchMode::Conjunction => sig.matches(packet),
-            MatchMode::Fraction(threshold) => sig.match_fraction(packet) >= threshold,
-            MatchMode::Ordered => sig.matches_ordered(packet),
+        let engine = CompiledDetector::compile(&set, mode);
+        let scratch = Mutex::new(engine.scratch());
+        Detector {
+            set,
+            mode,
+            engine,
+            scratch,
         }
     }
 
@@ -80,35 +100,38 @@ impl Detector {
         &self.set.signatures
     }
 
+    /// The compiled engine (introspection: pattern/state counts, or
+    /// per-thread scratches for custom batch drivers).
+    pub fn engine(&self) -> &CompiledDetector {
+        &self.engine
+    }
+
     /// First matching signature, if any.
     pub fn match_packet(&self, packet: &HttpPacket) -> Option<Detection> {
-        self.set
-            .signatures
-            .iter()
-            .find(|s| self.sig_matches(s, packet))
-            .map(|s| Detection { signature_id: s.id })
+        let mut scratch = self.scratch.lock().expect("detector scratch");
+        self.engine
+            .match_first(&mut scratch, packet)
+            .map(|i| Detection {
+                signature_id: self.set.signatures[i].id,
+            })
     }
 
     /// All matching signature ids (diagnostics; `match_packet` is the
     /// fast path).
     pub fn matches_all(&self, packet: &HttpPacket) -> Vec<u32> {
-        self.set
-            .signatures
-            .iter()
-            .filter(|s| self.sig_matches(s, packet))
-            .map(|s| s.id)
-            .collect()
+        let mut scratch = self.scratch.lock().expect("detector scratch");
+        self.engine.matched_ids(&mut scratch, packet)
     }
 
     /// Like [`Detector::match_packet`], but returns the evidence for a
     /// user-facing prompt ("this request matches signature N, whose
     /// cluster sent traffic to these hosts, on these invariants").
     pub fn explain(&self, packet: &HttpPacket) -> Option<Explanation> {
-        let sig = self
-            .set
-            .signatures
-            .iter()
-            .find(|s| self.sig_matches(s, packet))?;
+        let first = {
+            let mut scratch = self.scratch.lock().expect("detector scratch");
+            self.engine.match_first(&mut scratch, packet)?
+        };
+        let sig = &self.set.signatures[first];
         let matched_tokens = sig
             .tokens
             .iter()
@@ -121,15 +144,52 @@ impl Detector {
         })
     }
 
-    /// Detection mask over a packet slice.
+    /// Detection mask over a packet slice. Large batches are fanned out
+    /// across all available cores in contiguous chunks (deterministic
+    /// mask, whatever the thread count).
     pub fn scan<'a, I>(&self, packets: I) -> Vec<bool>
     where
         I: IntoIterator<Item = &'a HttpPacket>,
     {
-        packets
-            .into_iter()
-            .map(|p| self.match_packet(p).is_some())
-            .collect()
+        let refs: Vec<&HttpPacket> = packets.into_iter().collect();
+        self.scan_refs(&refs)
+    }
+
+    /// [`Detector::scan`] over an already-collected slice.
+    pub fn scan_refs(&self, packets: &[&HttpPacket]) -> Vec<bool> {
+        /// Below this, thread spawn overhead beats the win.
+        const PAR_THRESHOLD: usize = 256;
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        if packets.len() < PAR_THRESHOLD || threads < 2 {
+            let mut scratch = self.engine.scratch();
+            return packets
+                .iter()
+                .map(|p| self.engine.match_first(&mut scratch, p).is_some())
+                .collect();
+        }
+
+        let mut mask = vec![false; packets.len()];
+        let chunk = packets.len().div_ceil(threads);
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for (packet_chunk, mask_chunk) in
+                packets.chunks(chunk).zip(mask.chunks_mut(chunk))
+            {
+                handles.push(scope.spawn(move |_| {
+                    let mut scratch = self.engine.scratch();
+                    for (p, m) in packet_chunk.iter().zip(mask_chunk.iter_mut()) {
+                        *m = self.engine.match_first(&mut scratch, p).is_some();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("scan worker panicked");
+            }
+        })
+        .expect("crossbeam scope");
+        mask
     }
 }
 

@@ -1,0 +1,822 @@
+//! The compiled detection engine: one multi-pattern token automaton per
+//! content field plus a token→signature inverted index, so a single linear
+//! pass over each field's bytes evaluates **every** conjunction signature
+//! simultaneously.
+//!
+//! Detection is the system's only per-request path — the device gate
+//! inspects every outgoing HTTP packet — and the naive matcher is
+//! O(signatures × tokens × |packet|). This engine compiles a
+//! [`SignatureSet`] once (at install/restore time on the device, at
+//! construction time on the server) into:
+//!
+//! * a **token registry**: distinct `(field, bytes)` patterns, shared
+//!   across signatures;
+//! * per field, an **Aho–Corasick automaton** over that field's patterns
+//!   (byte-level trie + failure links, dense root row so the common
+//!   at-root case is a single table load), or a **single-needle fallback**
+//!   with a hand-rolled memchr-style skip loop when the field holds
+//!   exactly one pattern;
+//! * an **inverted index** from pattern → owning signatures with
+//!   per-signature token multiplicities (weights), driving per-packet hit
+//!   counters: a signature's counter reaching its total token count is a
+//!   conjunction match — no per-signature rescanning;
+//! * a per-signature **rarest-token guard**: the pattern owned by the
+//!   fewest signatures (ties: longest). A signature enters candidate
+//!   evaluation only when its guard fires, which prescreens
+//!   [`MatchMode::Conjunction`] and [`MatchMode::Ordered`] evaluation down
+//!   to signatures that can still fully match.
+//!
+//! All three [`MatchMode`]s are served by the same pass:
+//!
+//! * `Conjunction` — counter == total;
+//! * `Fraction(t)` — counter ⁄ total ≥ t over every touched signature;
+//! * `Ordered` — conjunction counters prescreen candidates, which are then
+//!   verified against the **position lists** the pass recorded (first
+//!   occurrence at-or-after a moving offset, per field, in order-hint
+//!   order) — identical semantics to
+//!   [`ConjunctionSignature::matches_ordered`], without rescanning.
+//!
+//! Per-packet state lives in a reusable [`ScanScratch`] with epoch-stamped
+//! slots, so resetting between packets is O(touched), not O(signatures).
+//!
+//! [`ConjunctionSignature::matches_ordered`]:
+//! crate::signature::ConjunctionSignature::matches_ordered
+
+use crate::detect::MatchMode;
+use crate::signature::{rline_view, Field, SignatureSet};
+use leaksig_http::HttpPacket;
+use std::collections::HashMap;
+
+/// Number of content fields (request line, cookie, body).
+const FIELDS: usize = 3;
+
+fn field_index(field: Field) -> usize {
+    match field {
+        Field::RequestLine => 0,
+        Field::Cookie => 1,
+        Field::Body => 2,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hand-rolled byte search primitives (deps stay vendored/offline).
+// ---------------------------------------------------------------------------
+
+/// First index of `needle_byte` in `hay`, SWAR word-at-a-time (the classic
+/// memchr bit trick: a zero byte in `w ^ broadcast` lights the high bit of
+/// its lane in `(v - 0x01…) & !v & 0x80…`).
+pub(crate) fn memchr_byte(needle_byte: u8, hay: &[u8]) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let broadcast = LO * needle_byte as u64;
+    let mut chunks = hay.chunks_exact(8);
+    let mut base = 0usize;
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().unwrap()) ^ broadcast;
+        let hit = w.wrapping_sub(LO) & !w & HI;
+        if hit != 0 {
+            return Some(base + (hit.trailing_zeros() / 8) as usize);
+        }
+        base += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == needle_byte)
+        .map(|p| base + p)
+}
+
+/// Whether `hay` contains `needle` (memchr-style skip loop on the
+/// needle's rarest byte, then a direct comparison at the implied offset).
+/// Empty needles match everywhere, mirroring the naive `windows` search.
+pub(crate) fn contains_bytes(hay: &[u8], needle: &[u8]) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    if needle.len() > hay.len() {
+        return false;
+    }
+    let (skip_at, skip_byte) = rarest_byte(needle);
+    let mut from = 0usize;
+    // Scan for the rare byte; a candidate occurrence of `needle` puts it
+    // at `skip_at`, so the match would start `skip_at` bytes earlier.
+    while let Some(i) = memchr_byte(skip_byte, &hay[from + skip_at..hay.len()]) {
+        let start = from + i;
+        if start + needle.len() > hay.len() {
+            return false;
+        }
+        if &hay[start..start + needle.len()] == needle {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// Pick the needle byte least likely to occur in HTTP-shaped traffic
+/// (static rarity classes: alphanumerics and separators are common,
+/// everything else rare), returning `(offset, byte)`.
+fn rarest_byte(needle: &[u8]) -> (usize, u8) {
+    fn rarity(b: u8) -> u8 {
+        match b {
+            b'a'..=b'z' | b'0'..=b'9' => 3,
+            b'A'..=b'Z' | b'=' | b'&' | b'/' | b'.' | b'-' | b'_' | b' ' => 2,
+            b'%' | b'+' | b';' | b':' | b'?' => 1,
+            _ => 0,
+        }
+    }
+    let mut best = (0usize, needle[0]);
+    let mut best_rarity = rarity(needle[0]);
+    for (i, &b) in needle.iter().enumerate().skip(1) {
+        let r = rarity(b);
+        if r < best_rarity {
+            best = (i, b);
+            best_rarity = r;
+            if r == 0 {
+                break;
+            }
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Aho–Corasick automaton (byte-level, failure links, dense root row).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Default)]
+struct AcNode {
+    /// Outgoing edges, sorted by byte.
+    edges: Vec<(u8, u32)>,
+    /// Failure link (longest proper suffix state).
+    fail: u32,
+    /// Pattern ids ending at this state, including those reachable via
+    /// failure links (flattened at build time).
+    outputs: Vec<u32>,
+}
+
+/// A multi-pattern matcher over one field's patterns.
+#[derive(Debug, Clone)]
+struct Automaton {
+    nodes: Vec<AcNode>,
+    /// Dense transition row for the root: most scan positions sit at the
+    /// root (no partial match in flight), so this is the hot lookup.
+    root: Box<[u32; 256]>,
+}
+
+impl Automaton {
+    /// Build from `(pattern bytes, pattern id)` pairs. Patterns must be
+    /// non-empty (the signature layer guarantees this: `Needle` refuses
+    /// empty tokens).
+    fn build(patterns: &[(&[u8], u32)]) -> Self {
+        let mut nodes = vec![AcNode::default()];
+        for &(pat, pid) in patterns {
+            debug_assert!(!pat.is_empty());
+            let mut state = 0u32;
+            for &b in pat {
+                let node = &nodes[state as usize];
+                state = match node.edges.binary_search_by_key(&b, |e| e.0) {
+                    Ok(i) => node.edges[i].1,
+                    Err(i) => {
+                        let next = nodes.len() as u32;
+                        nodes[state as usize].edges.insert(i, (b, next));
+                        nodes.push(AcNode::default());
+                        next
+                    }
+                };
+            }
+            nodes[state as usize].outputs.push(pid);
+        }
+
+        // BFS failure links; flatten suffix outputs as we go (parents are
+        // finalized before children).
+        let mut queue = std::collections::VecDeque::new();
+        for &(_, child) in &nodes[0].edges {
+            queue.push_back(child);
+        }
+        while let Some(state) = queue.pop_front() {
+            let edges = nodes[state as usize].edges.clone();
+            for (b, child) in edges {
+                // Walk fail links of `state` looking for a `b` edge.
+                let mut f = nodes[state as usize].fail;
+                let fail_of_child = loop {
+                    let node = &nodes[f as usize];
+                    match node.edges.binary_search_by_key(&b, |e| e.0) {
+                        Ok(i) => break node.edges[i].1,
+                        Err(_) if f == 0 => break 0,
+                        Err(_) => f = node.fail,
+                    }
+                };
+                nodes[child as usize].fail = fail_of_child;
+                let inherited = nodes[fail_of_child as usize].outputs.clone();
+                nodes[child as usize].outputs.extend(inherited);
+                queue.push_back(child);
+            }
+        }
+
+        let mut root = Box::new([0u32; 256]);
+        for &(b, child) in &nodes[0].edges {
+            root[b as usize] = child;
+        }
+        Automaton { nodes, root }
+    }
+
+    #[inline]
+    fn step(&self, mut state: u32, b: u8) -> u32 {
+        loop {
+            if state == 0 {
+                return self.root[b as usize];
+            }
+            let node = &self.nodes[state as usize];
+            match node.edges.binary_search_by_key(&b, |e| e.0) {
+                Ok(i) => return node.edges[i].1,
+                Err(_) => state = node.fail,
+            }
+        }
+    }
+
+    /// One linear pass over `hay`; `on_hit(pid, end_pos)` fires for every
+    /// occurrence of every pattern (end position = index of its last byte).
+    fn scan(&self, hay: &[u8], mut on_hit: impl FnMut(u32, usize)) {
+        let mut state = 0u32;
+        for (pos, &b) in hay.iter().enumerate() {
+            state = self.step(state, b);
+            let node = &self.nodes[state as usize];
+            if !node.outputs.is_empty() {
+                for &pid in &node.outputs {
+                    on_hit(pid, pos);
+                }
+            }
+        }
+    }
+
+    fn state_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Per-field matcher: nothing, one needle (memchr skip loop), or a full
+/// automaton.
+#[derive(Debug, Clone)]
+enum FieldMatcher {
+    Empty,
+    Single { pattern: Vec<u8>, pid: u32 },
+    Automaton(Automaton),
+}
+
+impl FieldMatcher {
+    fn scan(&self, hay: &[u8], mut on_hit: impl FnMut(u32, usize)) {
+        match self {
+            FieldMatcher::Empty => {}
+            FieldMatcher::Single { pattern, pid } => {
+                if pattern.len() > hay.len() {
+                    return;
+                }
+                let first = pattern[0];
+                let mut from = 0usize;
+                while from + pattern.len() <= hay.len() {
+                    match memchr_byte(first, &hay[from..=hay.len() - pattern.len()]) {
+                        Some(i) => {
+                            let start = from + i;
+                            if hay[start..start + pattern.len()] == pattern[..] {
+                                on_hit(*pid, start + pattern.len() - 1);
+                            }
+                            from = start + 1;
+                        }
+                        None => return,
+                    }
+                }
+            }
+            FieldMatcher::Automaton(a) => a.scan(hay, on_hit),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The compiled detector.
+// ---------------------------------------------------------------------------
+
+/// One inverted-index entry: `pattern → (signature, multiplicity)`.
+#[derive(Debug, Clone)]
+struct PatternOwner {
+    /// Signature index (position in the source set).
+    sig: u32,
+    /// How many of the signature's tokens are this exact pattern.
+    weight: u32,
+    /// Whether this pattern is the signature's rarest-token guard.
+    guard: bool,
+}
+
+/// An ordered-plan step: match this pattern at or after the running
+/// offset, then advance past it.
+#[derive(Debug, Clone, Copy)]
+struct OrderedStep {
+    pid: u32,
+    len: u32,
+}
+
+/// A [`SignatureSet`] compiled for high-volume matching. See the module
+/// docs for the layout. Compilation happens once per set — on the device,
+/// once per installed generation, never per packet.
+#[derive(Debug, Clone)]
+pub struct CompiledDetector {
+    mode: MatchMode,
+    matchers: [FieldMatcher; FIELDS],
+    /// Inverted index, indexed by pattern id.
+    owners: Vec<Vec<PatternOwner>>,
+    /// Pattern byte lengths, indexed by pattern id.
+    pattern_lens: Vec<u32>,
+    /// Per signature: total token count (conjunction target).
+    totals: Vec<u32>,
+    /// Per signature: wire ids, in set order.
+    ids: Vec<u32>,
+    /// Signatures with no tokens: vacuous conjunction/ordered matches.
+    always: Vec<u32>,
+    /// Ordered-mode verification plans (empty unless mode is `Ordered`):
+    /// per signature, per field, steps in `matches_ordered` order.
+    ordered_plans: Vec<[Vec<OrderedStep>; FIELDS]>,
+}
+
+/// Reusable per-packet scan state. Epoch-stamped so that resetting between
+/// packets touches only the slots the previous packet dirtied. One scratch
+/// per thread; see [`CompiledDetector::scratch`].
+#[derive(Debug)]
+pub struct ScanScratch {
+    epoch: u32,
+    /// Per pattern: epoch of the last packet it was counted in.
+    pat_seen: Vec<u32>,
+    /// Per signature: epoch of the last packet it was touched in.
+    sig_epoch: Vec<u32>,
+    /// Per signature: token hits this packet (valid when epoch matches).
+    counts: Vec<u32>,
+    /// Signatures touched this packet (for Fraction evaluation).
+    touched: Vec<u32>,
+    /// Candidates whose guard pattern fired this packet.
+    candidates: Vec<u32>,
+    /// Ordered mode: per pattern, end positions recorded this packet.
+    positions: Vec<Vec<u32>>,
+    /// Ordered mode: epoch of each pattern's position list.
+    pos_epoch: Vec<u32>,
+}
+
+impl ScanScratch {
+    fn begin(&mut self) {
+        self.touched.clear();
+        self.candidates.clear();
+        if self.epoch == u32::MAX {
+            // Epoch wrap: hard-reset all stamps (once per 4G packets).
+            self.epoch = 0;
+            self.pat_seen.fill(0);
+            self.sig_epoch.fill(0);
+            self.pos_epoch.fill(0);
+        }
+        self.epoch += 1;
+    }
+}
+
+impl CompiledDetector {
+    /// Compile a signature set for `mode`. The set is borrowed: the
+    /// compiled form is self-contained (pattern bytes are copied into the
+    /// automata).
+    pub fn compile(set: &SignatureSet, mode: MatchMode) -> Self {
+        // 1. Token registry: distinct (field, bytes) → pattern id.
+        let mut registry: HashMap<(usize, &[u8]), u32> = HashMap::new();
+        let mut pattern_bytes: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut owners: Vec<Vec<PatternOwner>> = Vec::new();
+        let mut totals = Vec::with_capacity(set.len());
+        let mut ids = Vec::with_capacity(set.len());
+        let mut always = Vec::new();
+        let mut sig_patterns: Vec<Vec<u32>> = Vec::with_capacity(set.len());
+
+        for (sig_idx, sig) in set.iter().enumerate() {
+            ids.push(sig.id);
+            totals.push(sig.tokens.len() as u32);
+            if sig.tokens.is_empty() {
+                always.push(sig_idx as u32);
+            }
+            let mut pids = Vec::with_capacity(sig.tokens.len());
+            for tok in &sig.tokens {
+                let key = (field_index(tok.field), tok.bytes());
+                let pid = match registry.get(&key) {
+                    Some(&pid) => pid,
+                    None => {
+                        let pid = pattern_bytes.len() as u32;
+                        pattern_bytes.push((key.0, tok.bytes().to_vec()));
+                        owners.push(Vec::new());
+                        // Re-key against the copied bytes (the borrow into
+                        // `sig` is fine for the map's lifetime here).
+                        registry.insert(key, pid);
+                        pid
+                    }
+                };
+                pids.push(pid);
+                let entries = &mut owners[pid as usize];
+                match entries.iter_mut().find(|o| o.sig == sig_idx as u32) {
+                    Some(o) => o.weight += 1,
+                    None => entries.push(PatternOwner {
+                        sig: sig_idx as u32,
+                        weight: 1,
+                        guard: false,
+                    }),
+                }
+            }
+            sig_patterns.push(pids);
+        }
+
+        // 2. Rarest-token guards: per signature, the pattern owned by the
+        // fewest signatures (ties: longest pattern). Popularity must be
+        // final before picking, hence the second pass.
+        for (sig_idx, pids) in sig_patterns.iter().enumerate() {
+            let guard = pids.iter().copied().min_by_key(|&pid| {
+                (
+                    owners[pid as usize].len(),
+                    usize::MAX - pattern_bytes[pid as usize].1.len(),
+                )
+            });
+            if let Some(gpid) = guard {
+                if let Some(o) = owners[gpid as usize]
+                    .iter_mut()
+                    .find(|o| o.sig == sig_idx as u32)
+                {
+                    o.guard = true;
+                }
+            }
+        }
+
+        // 3. Per-field matchers.
+        let mut per_field: [Vec<(&[u8], u32)>; FIELDS] = Default::default();
+        for (pid, (f, bytes)) in pattern_bytes.iter().enumerate() {
+            per_field[*f].push((bytes.as_slice(), pid as u32));
+        }
+        let matchers = per_field.map(|patterns| match patterns.len() {
+            0 => FieldMatcher::Empty,
+            1 => FieldMatcher::Single {
+                pattern: patterns[0].0.to_vec(),
+                pid: patterns[0].1,
+            },
+            _ => FieldMatcher::Automaton(Automaton::build(&patterns)),
+        });
+
+        // 4. Ordered-mode verification plans: tokens per field, stably
+        // sorted by order hint — exactly `matches_ordered`'s iteration.
+        let ordered_plans = if mode == MatchMode::Ordered {
+            set.iter()
+                .enumerate()
+                .map(|(sig_idx, sig)| {
+                    let mut plan: [Vec<OrderedStep>; FIELDS] = Default::default();
+                    for f in Field::ALL {
+                        let mut toks: Vec<(u32, usize)> = sig
+                            .tokens
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, t)| t.field == f)
+                            .map(|(i, t)| (t.order_hint(), i))
+                            .collect();
+                        toks.sort_by_key(|&(hint, _)| hint);
+                        plan[field_index(f)] = toks
+                            .into_iter()
+                            .map(|(_, i)| OrderedStep {
+                                pid: sig_patterns[sig_idx][i],
+                                len: sig.tokens[i].bytes().len() as u32,
+                            })
+                            .collect();
+                    }
+                    plan
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let pattern_lens = pattern_bytes
+            .iter()
+            .map(|(_, b)| b.len() as u32)
+            .collect();
+        CompiledDetector {
+            mode,
+            matchers,
+            owners,
+            pattern_lens,
+            totals,
+            ids,
+            always,
+            ordered_plans,
+        }
+    }
+
+    /// The match mode this engine was compiled for.
+    pub fn mode(&self) -> MatchMode {
+        self.mode
+    }
+
+    /// Number of distinct `(field, bytes)` patterns in the registry.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_lens.len()
+    }
+
+    /// Total automaton states across the three fields.
+    pub fn state_count(&self) -> usize {
+        self.matchers
+            .iter()
+            .map(|m| match m {
+                FieldMatcher::Automaton(a) => a.state_count(),
+                FieldMatcher::Single { .. } => 2,
+                FieldMatcher::Empty => 0,
+            })
+            .sum()
+    }
+
+    /// A scratch sized for this engine. Allocate one per thread; every
+    /// `match_*` call reuses it without further allocation.
+    pub fn scratch(&self) -> ScanScratch {
+        let n_pat = self.pattern_lens.len();
+        let n_sig = self.totals.len();
+        ScanScratch {
+            epoch: 0,
+            pat_seen: vec![0; n_pat],
+            sig_epoch: vec![0; n_sig],
+            counts: vec![0; n_sig],
+            touched: Vec::with_capacity(n_sig.min(64)),
+            candidates: Vec::with_capacity(n_sig.min(64)),
+            positions: if self.mode == MatchMode::Ordered {
+                vec![Vec::new(); n_pat]
+            } else {
+                Vec::new()
+            },
+            pos_epoch: vec![0; if self.mode == MatchMode::Ordered { n_pat } else { 0 }],
+        }
+    }
+
+    /// Run the per-field matchers over `packet`, filling counters and (in
+    /// ordered mode) position lists.
+    fn scan_fields(&self, s: &mut ScanScratch, packet: &HttpPacket) {
+        s.begin();
+        let record_positions = self.mode == MatchMode::Ordered;
+        let rline = rline_view(packet);
+        for (f, matcher) in self.matchers.iter().enumerate() {
+            if matches!(matcher, FieldMatcher::Empty) {
+                continue;
+            }
+            let hay: &[u8] = match f {
+                0 => rline.as_bytes(),
+                1 => packet.cookie(),
+                _ => &packet.body,
+            };
+            let epoch = s.epoch;
+            // Split-borrow the scratch so the closure can touch every
+            // component without aliasing `self`.
+            let ScanScratch {
+                pat_seen,
+                sig_epoch,
+                counts,
+                touched,
+                candidates,
+                positions,
+                pos_epoch,
+                ..
+            } = s;
+            matcher.scan(hay, |pid, end| {
+                let p = pid as usize;
+                if record_positions {
+                    if pos_epoch[p] != epoch {
+                        pos_epoch[p] = epoch;
+                        positions[p].clear();
+                    }
+                    positions[p].push(end as u32);
+                }
+                if pat_seen[p] == epoch {
+                    return;
+                }
+                pat_seen[p] = epoch;
+                for owner in &self.owners[p] {
+                    let sidx = owner.sig as usize;
+                    if sig_epoch[sidx] != epoch {
+                        sig_epoch[sidx] = epoch;
+                        counts[sidx] = 0;
+                        touched.push(owner.sig);
+                    }
+                    counts[sidx] += owner.weight;
+                    if owner.guard {
+                        candidates.push(owner.sig);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Verify an ordered-mode candidate against the recorded position
+    /// lists: per field, each step's pattern must occur at or after the
+    /// running offset (greedy, like `matches_ordered`'s `find_from` loop).
+    fn verify_ordered(&self, s: &ScanScratch, sig_idx: usize) -> bool {
+        for plan in &self.ordered_plans[sig_idx] {
+            let mut from = 0u32;
+            for step in plan {
+                let p = step.pid as usize;
+                if s.pos_epoch[p] != s.epoch {
+                    return false;
+                }
+                // First recorded end position implying start ≥ from.
+                let min_end = from + step.len - 1;
+                let list = &s.positions[p];
+                let i = list.partition_point(|&e| e < min_end);
+                match list.get(i) {
+                    Some(&e) => from = e + 1,
+                    None => return false,
+                }
+            }
+        }
+        true
+    }
+
+    #[inline]
+    fn sig_matches(&self, s: &ScanScratch, sig_idx: usize) -> bool {
+        let count = s.counts[sig_idx];
+        let total = self.totals[sig_idx];
+        match self.mode {
+            MatchMode::Conjunction => count == total,
+            // Mirror `match_fraction`'s exact float expression.
+            MatchMode::Fraction(t) => count as f64 / total as f64 >= t,
+            MatchMode::Ordered => count == total && self.verify_ordered(s, sig_idx),
+        }
+    }
+
+    /// Indices (set positions) of all matching signatures, ascending.
+    pub fn matched_indices(&self, s: &mut ScanScratch, packet: &HttpPacket) -> Vec<usize> {
+        self.scan_fields(s, packet);
+        let mut out: Vec<usize> = Vec::new();
+        match self.mode {
+            MatchMode::Fraction(_) => {
+                // A partial hit can clear the threshold, so every touched
+                // signature is a candidate. Empty-token signatures score
+                // 0.0 and never match (the threshold is > 0).
+                for i in 0..s.touched.len() {
+                    let sidx = s.touched[i] as usize;
+                    if self.sig_matches(s, sidx) {
+                        out.push(sidx);
+                    }
+                }
+            }
+            MatchMode::Conjunction | MatchMode::Ordered => {
+                // Rarest-token prescreen: only guard-fired candidates can
+                // have a full counter.
+                for i in 0..s.candidates.len() {
+                    let sidx = s.candidates[i] as usize;
+                    if self.sig_matches(s, sidx) {
+                        out.push(sidx);
+                    }
+                }
+                // Vacuous matches: token-free signatures match everything
+                // under conjunction/ordered semantics.
+                out.extend(self.always.iter().map(|&i| i as usize));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Index of the first matching signature (set order), if any.
+    pub fn match_first(&self, s: &mut ScanScratch, packet: &HttpPacket) -> Option<usize> {
+        self.matched_indices(s, packet).into_iter().next()
+    }
+
+    /// Wire ids of all matching signatures, in set order.
+    pub fn matched_ids(&self, s: &mut ScanScratch, packet: &HttpPacket) -> Vec<u32> {
+        self.matched_indices(s, packet)
+            .into_iter()
+            .map(|i| self.ids[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::{ConjunctionSignature, FieldToken};
+
+    fn tok(field: Field, bytes: &[u8]) -> FieldToken {
+        FieldToken::new(field, bytes)
+    }
+
+    fn sig(id: u32, tokens: Vec<FieldToken>) -> ConjunctionSignature {
+        ConjunctionSignature {
+            id,
+            tokens,
+            cluster_size: 2,
+            hosts: vec![],
+        }
+    }
+
+    #[test]
+    fn memchr_agrees_with_position() {
+        let hay = b"GET /ad?aid=f3a9c1d200b14e77&carrier=NTT+DOCOMO";
+        for (i, &b) in hay.iter().enumerate() {
+            let first = memchr_byte(b, hay).unwrap();
+            assert!(first <= i);
+            assert_eq!(hay[first], b);
+        }
+        assert_eq!(memchr_byte(b'\x00', hay), None);
+        assert_eq!(memchr_byte(b'x', b""), None);
+        // Positions past the first occurrence, across the 8-byte chunk
+        // boundary.
+        assert_eq!(memchr_byte(b'z', b"aaaaaaaaaaz"), Some(10));
+    }
+
+    #[test]
+    fn contains_bytes_agrees_with_windows() {
+        let hay = b"imei=355195000000017&slot=1&fmt=json";
+        for w in 1..hay.len() {
+            for start in 0..hay.len() - w {
+                assert!(contains_bytes(hay, &hay[start..start + w]));
+            }
+        }
+        assert!(!contains_bytes(hay, b"355195000000018"));
+        assert!(!contains_bytes(b"short", b"muchlongerneedle"));
+        assert!(contains_bytes(hay, b""));
+    }
+
+    #[test]
+    fn automaton_finds_overlapping_and_nested_patterns() {
+        // "he", "she", "his", "hers" — the textbook AC set.
+        let pats: Vec<(&[u8], u32)> = vec![
+            (b"he", 0),
+            (b"she", 1),
+            (b"his", 2),
+            (b"hers", 3),
+        ];
+        let a = Automaton::build(&pats);
+        let mut hits: Vec<(u32, usize)> = Vec::new();
+        a.scan(b"ushers", |pid, pos| hits.push((pid, pos)));
+        hits.sort_unstable();
+        // "she" ends at 3, "he" ends at 3, "hers" ends at 5.
+        assert_eq!(hits, vec![(0, 3), (1, 3), (3, 5)]);
+    }
+
+    #[test]
+    fn counting_engine_requires_all_tokens() {
+        let set = SignatureSet {
+            signatures: vec![sig(
+                7,
+                vec![
+                    tok(Field::Body, b"alphaalpha"),
+                    tok(Field::Body, b"betabeta"),
+                ],
+            )],
+        };
+        let engine = CompiledDetector::compile(&set, MatchMode::Conjunction);
+        let mut s = engine.scratch();
+        let mk = |body: &[u8]| {
+            leaksig_http::RequestBuilder::post("/x")
+                .body(body.to_vec())
+                .destination(std::net::Ipv4Addr::LOCALHOST, 80, "h.jp")
+                .build()
+        };
+        assert_eq!(
+            engine.matched_ids(&mut s, &mk(b"alphaalpha123betabeta")),
+            vec![7]
+        );
+        assert!(engine.matched_ids(&mut s, &mk(b"alphaalpha only")).is_empty());
+        // Scratch reuse across packets must not leak counters.
+        assert_eq!(
+            engine.matched_ids(&mut s, &mk(b"betabeta999alphaalpha")),
+            vec![7]
+        );
+    }
+
+    #[test]
+    fn duplicate_tokens_weigh_twice() {
+        // Same pattern twice in one signature: present-once still counts
+        // both (presence semantics), matching the naive matcher.
+        let set = SignatureSet {
+            signatures: vec![sig(
+                1,
+                vec![tok(Field::Body, b"dupdup"), tok(Field::Body, b"dupdup")],
+            )],
+        };
+        let engine = CompiledDetector::compile(&set, MatchMode::Conjunction);
+        let mut s = engine.scratch();
+        let p = leaksig_http::RequestBuilder::post("/x")
+            .body(&b"xx dupdup yy"[..])
+            .destination(std::net::Ipv4Addr::LOCALHOST, 80, "h.jp")
+            .build();
+        assert_eq!(engine.matched_ids(&mut s, &p), vec![1]);
+    }
+
+    #[test]
+    fn empty_token_signature_is_vacuous() {
+        let set = SignatureSet {
+            signatures: vec![sig(9, vec![])],
+        };
+        let p = leaksig_http::RequestBuilder::get("/x")
+            .destination(std::net::Ipv4Addr::LOCALHOST, 80, "h.jp")
+            .build();
+        for mode in [MatchMode::Conjunction, MatchMode::Ordered] {
+            let engine = CompiledDetector::compile(&set, mode);
+            let mut s = engine.scratch();
+            assert_eq!(engine.matched_ids(&mut s, &p), vec![9], "{mode:?}");
+        }
+        let engine = CompiledDetector::compile(&set, MatchMode::Fraction(0.5));
+        let mut s = engine.scratch();
+        assert!(engine.matched_ids(&mut s, &p).is_empty());
+    }
+}

@@ -23,7 +23,11 @@
 //! * [`audit`] — static auditing of finished sets: the diagnostic
 //!   vocabulary and the deploy gate (§VI's hazards, re-checked at the
 //!   deployment boundary; `leaksig-lint` builds on it).
-//! * [`detect`] — the high-volume matcher.
+//! * [`engine`] — the compiled detection engine: per-field multi-pattern
+//!   token automata + counting conjunction evaluation (one linear pass
+//!   per packet evaluates every signature).
+//! * [`detect`] — the high-volume matcher, driving [`engine`] and fanning
+//!   batch scans across cores.
 //! * [`eval`] — the paper's TP/FN/FP formulas (§V-B).
 //! * [`quality`] — cluster purity / Rand index (tuning diagnostics).
 //! * [`bayes`] — Polygraph-class Bayes (token-scoring) signatures, an
@@ -54,6 +58,7 @@ pub mod audit;
 pub mod bayes;
 pub mod cluster;
 pub mod detect;
+pub mod engine;
 pub mod distance;
 pub mod eval;
 pub mod matrix;
@@ -69,14 +74,15 @@ pub mod prelude {
     pub use crate::bayes::{BayesConfig, BayesSignature};
     pub use crate::cluster::{agglomerate, agglomerate_with, Dendrogram, Linkage, Merge};
     pub use crate::detect::{Detection, Detector, Explanation, MatchMode};
+    pub use crate::engine::{CompiledDetector, ScanScratch};
     pub use crate::distance::{DistanceConfig, DistanceConvention, PacketDistance, PacketFeatures};
     pub use crate::eval::{tally, Counts, Rates};
     pub use crate::matrix::{pairwise, CondensedMatrix};
     pub use crate::payload::{Needle, PayloadCheck};
     pub use crate::pipeline::{
-        drop_dominated, generate_signatures, generate_signatures_with, prune_against_normal,
-        run_experiment, run_experiment_refs, ClusterSelection, ExperimentOutcome, FpValidation,
-        PipelineConfig,
+        drop_dominated, generate_signatures, generate_signatures_counted,
+        generate_signatures_with, prune_against_normal, run_experiment, run_experiment_refs,
+        ClusterSelection, ExperimentOutcome, FpValidation, GeneratedSignatures, PipelineConfig,
     };
     pub use crate::signature::{
         signature_from_cluster, ConjunctionSignature, Field, FieldToken, SignatureConfig,

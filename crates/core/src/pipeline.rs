@@ -95,23 +95,42 @@ impl Default for PipelineConfig {
 }
 
 /// Drop signatures that match more than `max_hits` of `normal_sample`.
+///
+/// The whole set is compiled once ([`crate::engine::CompiledDetector`])
+/// and each benign packet is scanned in a single pass that credits every
+/// matching signature — O(sample × |packet|) instead of
+/// O(signatures × tokens × sample × |packet|).
 pub fn prune_against_normal(
     set: &mut SignatureSet,
     normal_sample: &[&HttpPacket],
     max_hits: usize,
 ) {
-    set.signatures.retain(|sig| {
-        let mut hits = 0usize;
-        for p in normal_sample {
-            if sig.matches(p) {
-                hits += 1;
-                if hits > max_hits {
-                    return false;
-                }
-            }
+    if set.is_empty() || normal_sample.is_empty() {
+        return;
+    }
+    let engine = crate::engine::CompiledDetector::compile(set, crate::detect::MatchMode::Conjunction);
+    let mut scratch = engine.scratch();
+    let mut hits = vec![0usize; set.len()];
+    for p in normal_sample {
+        for idx in engine.matched_indices(&mut scratch, p) {
+            hits[idx] += 1;
         }
-        true
-    });
+    }
+    let mut hits = hits.iter();
+    set.signatures.retain(|_| *hits.next().unwrap() <= max_hits);
+}
+
+/// A generated signature set plus the clustering diagnostics the
+/// experiment driver needs — returned together so callers never recompute
+/// the O(n²) distance matrix just to count clusters.
+#[derive(Debug, Clone)]
+pub struct GeneratedSignatures {
+    /// The signatures that survived the filters and the deploy gate.
+    pub set: SignatureSet,
+    /// Cluster count under the configured selection: the cut size for
+    /// [`ClusterSelection::Cut`], the full dendrogram node count
+    /// (`2n − 1`) for [`ClusterSelection::AllNodes`].
+    pub clusters: usize,
 }
 
 /// Cluster a packet sample and emit conjunction signatures (§IV-D +
@@ -127,8 +146,22 @@ pub fn generate_signatures_with<C: leaksig_compress::Compressor + Sync>(
     packets: &[&HttpPacket],
     config: &PipelineConfig,
 ) -> SignatureSet {
+    generate_signatures_counted(compressor, packets, config).set
+}
+
+/// [`generate_signatures_with`], also reporting the cluster count from
+/// the **same** dendrogram (features, matrix and clustering are computed
+/// exactly once).
+pub fn generate_signatures_counted<C: leaksig_compress::Compressor + Sync>(
+    compressor: C,
+    packets: &[&HttpPacket],
+    config: &PipelineConfig,
+) -> GeneratedSignatures {
     if packets.is_empty() {
-        return SignatureSet::default();
+        return GeneratedSignatures {
+            set: SignatureSet::default(),
+            clusters: 0,
+        };
     }
     let dist = PacketDistance::new(compressor, config.distance);
     let features: Vec<_> = packets.iter().map(|p| dist.features(p)).collect();
@@ -146,6 +179,13 @@ pub fn generate_signatures_with<C: leaksig_compress::Compressor + Sync>(
             }
             nodes
         }
+    };
+    // The diagnostic cluster count: the cut size under `Cut`, the full
+    // dendrogram node count under `AllNodes` (a fixed cut is not
+    // meaningful there).
+    let cluster_count = match config.selection {
+        ClusterSelection::Cut(_) => clusters.len(),
+        ClusterSelection::AllNodes { .. } => 2 * packets.len() - 1,
     };
 
     // Token extraction is per content field, so a cluster mixing GET and
@@ -198,7 +238,10 @@ pub fn generate_signatures_with<C: leaksig_compress::Compressor + Sync>(
                 .any(|d| d.severity == crate::audit::Severity::Error)
         });
     }
-    set
+    GeneratedSignatures {
+        set,
+        clusters: cluster_count,
+    }
 }
 
 /// Remove signatures whose token set is a superset of another signature's
@@ -212,30 +255,60 @@ pub fn generate_signatures_with<C: leaksig_compress::Compressor + Sync>(
 /// first.
 pub fn drop_dominated(set: &mut SignatureSet) {
     let signatures = &mut set.signatures;
-    let token_sets: Vec<Vec<(u8, Vec<u8>)>> = signatures
+    let n = signatures.len();
+    // Token views are borrowed, not re-allocated per comparison; alongside
+    // each signature's tokens we precompute per-field token counts and the
+    // per-field maximum token length, which give two O(1) rejections
+    // before any substring work:
+    //   * a token of A in a field where B has none can never be contained;
+    //   * a token of length L only fits inside a token of length ≥ L.
+    let token_sets: Vec<Vec<(u8, &[u8])>> = signatures
         .iter()
         .map(|s| {
             s.tokens
                 .iter()
-                .map(|t| (t.field as u8, t.bytes().to_vec()))
+                .map(|t| (t.field as u8, t.bytes()))
                 .collect()
         })
         .collect();
-    let contains_sub = |hay: &[u8], nee: &[u8]| hay.windows(nee.len()).any(|w| w == nee);
+    let field_stats: Vec<[(u32, u32); 3]> = token_sets
+        .iter()
+        .map(|toks| {
+            let mut stats = [(0u32, 0u32); 3]; // (count, max_len) per field
+            for &(f, bytes) in toks {
+                let slot = &mut stats[f as usize];
+                slot.0 += 1;
+                slot.1 = slot.1.max(bytes.len() as u32);
+            }
+            stats
+        })
+        .collect();
+    // Only signatures with ≤ |B| tokens can dominate B: iterate potential
+    // dominators in ascending token count and stop early.
+    let mut by_len: Vec<usize> = (0..n).collect();
+    by_len.sort_by_key(|&i| token_sets[i].len());
+
     // A dominates B when every token of A is contained in some token of B
     // with the same field (so B's constraints imply A's).
-    let dominated: Vec<bool> = (0..signatures.len())
+    let dominated: Vec<bool> = (0..n)
         .map(|b| {
-            (0..signatures.len()).any(|a| {
-                a != b
-                    && token_sets[a].len() <= token_sets[b].len()
-                    && token_sets[a] != token_sets[b]
-                    && token_sets[a].iter().all(|(fa, ta)| {
-                        token_sets[b]
-                            .iter()
-                            .any(|(fb, tb)| fa == fb && contains_sub(tb, ta))
-                    })
-            })
+            by_len
+                .iter()
+                .take_while(|&&a| token_sets[a].len() <= token_sets[b].len())
+                .any(|&a| {
+                    a != b
+                        && (0..3).all(|f| {
+                            field_stats[a][f].0 == 0
+                                || (field_stats[b][f].0 > 0
+                                    && field_stats[a][f].1 <= field_stats[b][f].1)
+                        })
+                        && token_sets[a] != token_sets[b]
+                        && token_sets[a].iter().all(|&(fa, ta)| {
+                            token_sets[b]
+                                .iter()
+                                .any(|&(fb, tb)| fa == fb && crate::engine::contains_bytes(tb, ta))
+                        })
+                })
         })
         .collect();
     let mut keep = dominated.iter().map(|d| !d);
@@ -290,8 +363,12 @@ pub fn run_experiment_refs(
     }
 
     // Generate; the candidate-node count is the diagnostic here (under
-    // `AllNodes` selection a fixed cut is not meaningful).
-    let mut signatures = generate_signatures(&sample, config);
+    // `AllNodes` selection a fixed cut is not meaningful). The counted
+    // variant reports the cluster count from the same dendrogram the
+    // signatures came from — the pairwise NCD matrix is computed once.
+    let generated = generate_signatures_counted(Lzss::default(), &sample, config);
+    let clusters = generated.clusters;
+    let mut signatures = generated.set;
     if let Some(v) = config.fp_validation {
         let mut normal: Vec<usize> = (0..packets.len()).filter(|&i| !sensitive[i]).collect();
         let mut vrng = StdRng::seed_from_u64(config.sample_seed ^ 0x4650);
@@ -301,17 +378,6 @@ pub fn run_experiment_refs(
         prune_against_normal(&mut signatures, &normal_sample, v.max_hits);
     }
     drop_dominated(&mut signatures);
-    let clusters = match (sample.is_empty(), config.selection) {
-        (true, _) => 0,
-        (false, ClusterSelection::AllNodes { .. }) => 2 * sample.len() - 1,
-        (false, ClusterSelection::Cut(threshold)) => {
-            let dist = PacketDistance::new(Lzss::default(), config.distance);
-            let features: Vec<_> = sample.iter().map(|p| dist.features(p)).collect();
-            agglomerate(&pairwise(&dist, &features))
-                .cut(threshold)
-                .len()
-        }
-    };
 
     // Detect over the full dataset.
     let detector = Detector::new(signatures);
@@ -490,6 +556,118 @@ mod tests {
         let set = generate_signatures(&sample, &PipelineConfig::default());
         assert!(!set.is_empty());
         crate::audit::deploy_check(&set).expect("clean generation is gate-clean");
+    }
+
+    /// The prescreened [`drop_dominated`] keeps exactly the signatures
+    /// the naive O(S²·T²) definition keeps — pinned on a set engineered
+    /// to hit every prescreen branch: equal sets (kept), field-mismatch
+    /// (kept), shorter-token containment (dropped), and a longer-set
+    /// non-dominator.
+    #[test]
+    fn drop_dominated_matches_naive_definition() {
+        use crate::signature::{ConjunctionSignature, Field, FieldToken};
+
+        let tok = |field: Field, bytes: &str| FieldToken::new(field, bytes.as_bytes());
+        let sig = |id: u32, tokens: Vec<FieldToken>| ConjunctionSignature {
+            id,
+            tokens,
+            cluster_size: 1,
+            hosts: Vec::new(),
+        };
+        let set = SignatureSet {
+            signatures: vec![
+                // General: single short token. Dominates 1 and 3.
+                sig(0, vec![tok(Field::RequestLine, "imei=")]),
+                // Specific superset of 0 in the same field.
+                sig(1, vec![tok(Field::RequestLine, "imei=355195000000017")]),
+                // Same token, different field: no domination either way.
+                sig(2, vec![tok(Field::Body, "imei=")]),
+                // Two tokens, one containing 0's: dominated by 0.
+                sig(
+                    3,
+                    vec![
+                        tok(Field::RequestLine, "x-imei=42"),
+                        tok(Field::Cookie, "session"),
+                    ],
+                ),
+                // Exact duplicate token set of 2: neither drops the other.
+                sig(4, vec![tok(Field::Body, "imei=")]),
+            ],
+        };
+
+        let naive_survivors = |set: &SignatureSet| -> Vec<u32> {
+            let contains = |hay: &[u8], nee: &[u8]| hay.windows(nee.len()).any(|w| w == nee);
+            let views: Vec<Vec<(u8, &[u8])>> = set
+                .signatures
+                .iter()
+                .map(|s| s.tokens.iter().map(|t| (t.field as u8, t.bytes())).collect())
+                .collect();
+            set.signatures
+                .iter()
+                .enumerate()
+                .filter(|&(b, _)| {
+                    !(0..views.len()).any(|a| {
+                        a != b
+                            && views[a].len() <= views[b].len()
+                            && views[a] != views[b]
+                            && views[a].iter().all(|&(fa, ta)| {
+                                views[b].iter().any(|&(fb, tb)| fa == fb && contains(tb, ta))
+                            })
+                    })
+                })
+                .map(|(_, s)| s.id)
+                .collect()
+        };
+
+        let expected = naive_survivors(&set);
+        assert_eq!(expected, vec![0, 2, 4], "naive oracle sanity");
+
+        let mut pruned = set;
+        drop_dominated(&mut pruned);
+        let got: Vec<u32> = pruned.signatures.iter().map(|s| s.id).collect();
+        assert_eq!(got, expected);
+    }
+
+    /// The counted generation reports the same cluster diagnostic the
+    /// experiment driver used to recompute from scratch.
+    #[test]
+    fn counted_clusters_match_recomputed_semantics() {
+        let (packets, _) = mini_dataset();
+        let sample: Vec<&HttpPacket> = packets[..40].iter().collect();
+        let cfg = PipelineConfig::default();
+        let generated = generate_signatures_counted(Lzss::default(), &sample, &cfg);
+        let expected = match cfg.selection {
+            ClusterSelection::AllNodes { .. } => 2 * sample.len() - 1,
+            ClusterSelection::Cut(threshold) => {
+                let dist = PacketDistance::new(Lzss::default(), cfg.distance);
+                let features: Vec<_> = sample.iter().map(|p| dist.features(p)).collect();
+                agglomerate(&pairwise(&dist, &features)).cut(threshold).len()
+            }
+        };
+        assert_eq!(generated.clusters, expected);
+        type SigShape = Vec<(u32, Vec<(u8, Vec<u8>)>)>;
+        let shape = |set: &SignatureSet| -> SigShape {
+            set.signatures
+                .iter()
+                .map(|s| {
+                    (
+                        s.id,
+                        s.tokens
+                            .iter()
+                            .map(|t| (t.field as u8, t.bytes().to_vec()))
+                            .collect(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(
+            shape(&generated.set),
+            shape(&generate_signatures(&sample, &cfg))
+        );
+
+        let empty = generate_signatures_counted(Lzss::default(), &[], &cfg);
+        assert_eq!(empty.clusters, 0);
+        assert!(empty.set.is_empty());
     }
 
     #[test]

@@ -193,7 +193,7 @@ impl ConjunctionSignature {
 /// parameter ending in `0`) are §VI's match-everything hazard in a form no
 /// finite stoplist can enumerate — so the version never enters the token
 /// universe at all.
-fn rline_view(packet: &HttpPacket) -> String {
+pub(crate) fn rline_view(packet: &HttpPacket) -> String {
     format!(
         "{} {}",
         packet.request_line.method.as_str(),

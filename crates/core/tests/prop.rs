@@ -67,6 +67,57 @@ fn arb_wire_set() -> impl Strategy<Value = SignatureSet> {
     })
 }
 
+/// Packets over a tiny alphabet so engine/naive differential tests see
+/// real matches (and near-misses) instead of a wall of trivial rejects.
+fn arb_collision_packet() -> impl Strategy<Value = leaksig_http::HttpPacket> {
+    (
+        "[ab]{0,12}",
+        proptest::option::of("[ab]{1,12}"),
+        proptest::option::of("[ab]{0,16}"),
+    )
+        .prop_map(|(path, cookie, body)| {
+            let mut b = RequestBuilder::get(&format!("/{path}"));
+            if let Some(c) = &cookie {
+                b = b.cookie(c);
+            }
+            if let Some(body) = body {
+                b = b.body(body.into_bytes());
+            }
+            b.destination(Ipv4Addr::new(203, 0, 113, 9), 80, "a.example")
+                .build()
+        })
+}
+
+/// Signature sets whose tokens share the same tiny alphabet: heavy
+/// cross-signature token overlap, duplicate tokens inside one signature,
+/// and arbitrary order hints — the hard cases for a shared automaton.
+fn arb_collision_set() -> impl Strategy<Value = SignatureSet> {
+    let token = (
+        prop_oneof![
+            Just(Field::RequestLine),
+            Just(Field::Cookie),
+            Just(Field::Body),
+        ],
+        "[ab]{1,4}",
+        0u32..8,
+    )
+        .prop_map(|(field, bytes, hint)| FieldToken::with_hint(field, bytes.into_bytes(), hint));
+    proptest::collection::vec(proptest::collection::vec(token, 1..6), 0..8).prop_map(|sigs| {
+        SignatureSet {
+            signatures: sigs
+                .into_iter()
+                .enumerate()
+                .map(|(id, tokens)| ConjunctionSignature {
+                    id: id as u32,
+                    tokens,
+                    cluster_size: 2,
+                    hosts: Vec::new(),
+                })
+                .collect(),
+        }
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -229,6 +280,85 @@ proptest! {
         let needle = Needle::new(pat.clone());
         let oracle = hay.windows(pat.len()).any(|w| w == &pat[..]);
         prop_assert_eq!(needle.is_in(&hay), oracle);
+    }
+
+    /// Compiled engine vs naive token matching, Conjunction mode: the
+    /// automaton must agree with `ConjunctionSignature::matches` on every
+    /// (set, packet) pair — including the first-match id and the full
+    /// match list. Small alphabets force heavy token overlap, shared
+    /// automaton prefixes, and duplicate tokens across signatures.
+    #[test]
+    fn compiled_conjunction_equals_naive(
+        set in arb_collision_set(),
+        packets in proptest::collection::vec(arb_collision_packet(), 1..8),
+    ) {
+        let detector = Detector::new(set.clone());
+        for p in &packets {
+            let naive: Vec<u32> = set
+                .signatures
+                .iter()
+                .filter(|s| s.matches(p))
+                .map(|s| s.id)
+                .collect();
+            prop_assert_eq!(detector.matches_all(p), &naive[..]);
+            prop_assert_eq!(
+                detector.match_packet(p).map(|d| d.signature_id),
+                naive.first().copied()
+            );
+        }
+        let refs: Vec<&leaksig_http::HttpPacket> = packets.iter().collect();
+        let mask: Vec<bool> = refs
+            .iter()
+            .map(|p| set.signatures.iter().any(|s| s.matches(p)))
+            .collect();
+        prop_assert_eq!(detector.scan_refs(&refs), mask);
+    }
+
+    /// Fraction mode: counter ratios must reproduce the naive
+    /// floating-point expression `hits / total >= threshold` bit-for-bit.
+    #[test]
+    fn compiled_fraction_equals_naive(
+        set in arb_collision_set(),
+        packets in proptest::collection::vec(arb_collision_packet(), 1..8),
+        threshold in prop_oneof![Just(0.25f64), Just(1.0 / 3.0), Just(0.5), Just(0.75), Just(1.0)],
+    ) {
+        let detector = Detector::with_mode(set.clone(), MatchMode::Fraction(threshold));
+        for p in &packets {
+            let naive: Vec<u32> = set
+                .signatures
+                .iter()
+                .filter(|s| s.match_fraction(p) >= threshold)
+                .map(|s| s.id)
+                .collect();
+            prop_assert_eq!(detector.matches_all(p), &naive[..]);
+            prop_assert_eq!(
+                detector.match_packet(p).map(|d| d.signature_id),
+                naive.first().copied()
+            );
+        }
+    }
+
+    /// Ordered mode: position-list verification must agree with the
+    /// naive greedy in-order scan, including order-hint tie-breaking.
+    #[test]
+    fn compiled_ordered_equals_naive(
+        set in arb_collision_set(),
+        packets in proptest::collection::vec(arb_collision_packet(), 1..8),
+    ) {
+        let detector = Detector::with_mode(set.clone(), MatchMode::Ordered);
+        for p in &packets {
+            let naive: Vec<u32> = set
+                .signatures
+                .iter()
+                .filter(|s| s.matches_ordered(p))
+                .map(|s| s.id)
+                .collect();
+            prop_assert_eq!(detector.matches_all(p), &naive[..]);
+            prop_assert_eq!(
+                detector.match_packet(p).map(|d| d.signature_id),
+                naive.first().copied()
+            );
+        }
     }
 
     /// Rates are bounded for arbitrary consistent counts.

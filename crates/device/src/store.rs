@@ -11,6 +11,7 @@ use leaksig_core::audit;
 use leaksig_core::prelude::*;
 use leaksig_core::wire;
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Why a signature set was refused at the deployment boundary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,6 +133,10 @@ impl std::fmt::Display for StoreHealth {
 #[derive(Debug)]
 pub struct SignatureStore {
     inner: RwLock<StoreState>,
+    /// Detector compilations performed by this store — bumps once per
+    /// installed generation, never per packet (the gate's hot path must
+    /// not recompile; see [`SignatureStore::compilations`]).
+    compilations: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -155,6 +160,7 @@ impl Default for SignatureStore {
                 stale_rounds: 0,
                 corrupt: false,
             }),
+            compilations: AtomicU64::new(1),
         }
     }
 }
@@ -236,12 +242,25 @@ impl SignatureStore {
     /// definition a successful sync generation: staleness and the corrupt
     /// flag reset.
     fn commit(&self, version: u64, set: SignatureSet, wire_text: &str) {
+        // Compile outside the write lock: matching blocks only for the
+        // pointer swap, not for automaton construction.
+        let detector = Detector::new(set);
+        self.compilations.fetch_add(1, Ordering::Relaxed);
         let mut st = self.inner.write();
         st.version = version;
-        st.detector = Detector::new(set);
+        st.detector = detector;
         st.wire_text = wire_text.to_string();
         st.stale_rounds = 0;
         st.corrupt = false;
+    }
+
+    /// How many times this store has compiled a detection engine: once at
+    /// construction (the empty set) plus once per installed generation.
+    /// Per-packet calls ([`SignatureStore::match_packet`],
+    /// [`SignatureStore::explain`]) never change it — the compiled
+    /// automaton is reused across the whole generation.
+    pub fn compilations(&self) -> u64 {
+        self.compilations.load(Ordering::Relaxed)
     }
 
     /// The wire text of the installed set (persistence support).
@@ -440,6 +459,49 @@ mod tests {
         assert!(store.sync(&server).is_err());
         assert_eq!(store.health(), StoreHealth::Stale { rounds: 1 });
         assert_eq!(store.version(), 1, "rejected set is never installed");
+    }
+
+    /// The engine compiles once per installed generation, never per
+    /// packet: repeated matching through the store and through the gate
+    /// leaves the compilation counter untouched; each install bumps it
+    /// by exactly one.
+    #[test]
+    fn engine_compiles_once_per_generation_not_per_packet() {
+        let server = SignatureServer::new();
+        let store = SignatureStore::new();
+        assert_eq!(store.compilations(), 1, "construction compiles the empty set");
+
+        server.publish(&one_signature_set()).unwrap();
+        store.sync(&server).unwrap();
+        assert_eq!(store.compilations(), 2, "install is one compilation");
+
+        for slot in 0..200 {
+            store.match_packet(&leak_packet(&slot.to_string()));
+            store.explain(&leak_packet(&slot.to_string()));
+        }
+        assert_eq!(store.compilations(), 2, "matching must not recompile");
+
+        let gate = crate::gate::PacketGate::new(&store);
+        for slot in 0..200 {
+            match gate.intercept("app.x", &leak_packet(&slot.to_string())) {
+                crate::gate::GateAction::PendingPrompt { prompt_id, .. } => {
+                    gate.answer(prompt_id, crate::policy::UserChoice::BlockAlways)
+                        .unwrap();
+                }
+                crate::gate::GateAction::Blocked { .. } => {}
+                other => panic!("leak not enforced: {other:?}"),
+            }
+        }
+        assert_eq!(store.compilations(), 2, "interception must not recompile");
+
+        server.publish(&one_signature_set()).unwrap();
+        store.sync(&server).unwrap();
+        assert_eq!(store.compilations(), 3, "next generation, next compile");
+
+        // Failed installs never reach the compiler.
+        assert!(store.install(9, "garbage").is_err());
+        assert!(store.install(9, &pathological_wire()).is_err());
+        assert_eq!(store.compilations(), 3);
     }
 
     #[test]

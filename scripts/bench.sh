@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Detection + NCD benchmark runner.
+#
+# Default (quick mode): runs the `detect` bench binary at its full
+# configured scale with a reduced sample count, collects the criterion
+# shim's JSONL output, and writes the assembled baseline to
+# BENCH_detect.json at the repo root. Commit the result to update the
+# checked-in perf baseline.
+#
+# --smoke: tiny packet/signature counts and a throwaway output file —
+# proves the harness runs end to end (wired into scripts/check.sh)
+# without disturbing the committed baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="quick"
+if [[ "${1:-}" == "--smoke" ]]; then
+    MODE="smoke"
+fi
+
+if [[ "$MODE" == "smoke" ]]; then
+    OUT="$(mktemp -d)/BENCH_detect.json"
+    JSONL="$(mktemp)"
+    export LEAKSIG_BENCH_PACKETS=200
+    export LEAKSIG_BENCH_SIGS=8
+    export CRITERION_SAMPLES=3
+else
+    OUT="BENCH_detect.json"
+    JSONL="$(mktemp)"
+    export CRITERION_SAMPLES="${CRITERION_SAMPLES:-10}"
+fi
+
+echo "==> cargo bench -p leaksig-bench --bench detect ($MODE)"
+CRITERION_JSON="$JSONL" cargo bench -p leaksig-bench --bench detect
+
+# Assemble the JSONL lines into one stable document.
+{
+    echo '{'
+    echo '  "schema": "leaksig-bench/1",'
+    echo '  "mode": "'"$MODE"'",'
+    echo '  "results": ['
+    sed 's/^/    /; $!s/$/,/' "$JSONL"
+    echo '  ]'
+    echo '}'
+} > "$OUT"
+rm -f "$JSONL"
+
+echo "==> wrote $OUT"
+if [[ "$MODE" == "smoke" ]]; then
+    # The harness must have produced at least the three detect rows.
+    ROWS=$(grep -c '"group":"detect"' "$OUT")
+    if [[ "$ROWS" -lt 3 ]]; then
+        echo "smoke: expected >=3 detect rows, got $ROWS" >&2
+        exit 1
+    fi
+    echo "smoke: ok ($ROWS detect rows)"
+fi

@@ -19,4 +19,7 @@ CHAOS_SEEDS="${CHAOS_SEEDS:-1,2,3,4,5}"
 echo "==> chaos soak (seeds ${CHAOS_SEEDS})"
 CHAOS_SEEDS="$CHAOS_SEEDS" cargo test --quiet --test chaos
 
+echo "==> bench smoke"
+scripts/bench.sh --smoke
+
 echo "All checks passed."

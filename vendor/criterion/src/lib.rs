@@ -5,7 +5,17 @@
 //! `iter`/`iter_batched`, throughput annotations) over a simple
 //! median-of-samples wall-clock timer. No statistics engine, no HTML
 //! reports — `cargo bench` prints one line per benchmark.
+//!
+//! Two environment variables extend the shim for scripted runs:
+//!
+//! * `CRITERION_JSON=<path>` — append one JSON object per benchmark
+//!   (group, bench, median_ns, samples, throughput kind/volume, derived
+//!   rate) to `<path>`, JSONL-style. `scripts/bench.sh` assembles these
+//!   lines into the committed baseline file.
+//! * `CRITERION_SAMPLES=<n>` — override every group's sample count
+//!   (floored at 3), so smoke runs stay fast without touching bench code.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Volume processed per iteration, for derived rates.
@@ -37,10 +47,15 @@ pub struct Criterion {
 impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.max(3))
+            .unwrap_or(20);
         BenchmarkGroup {
             name: name.to_string(),
             throughput: None,
-            sample_size: 20,
+            sample_size,
             _criterion: self,
         }
     }
@@ -61,9 +76,12 @@ impl<'a> BenchmarkGroup<'a> {
         self
     }
 
-    /// Number of timed samples per benchmark.
+    /// Number of timed samples per benchmark. A `CRITERION_SAMPLES`
+    /// override (smoke mode) wins over in-code settings.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(3);
+        if std::env::var_os("CRITERION_SAMPLES").is_none() {
+            self.sample_size = n.max(3);
+        }
         self
     }
 
@@ -102,6 +120,39 @@ impl<'a> BenchmarkGroup<'a> {
             samples.len(),
             rate
         );
+        if let Some(path) = std::env::var_os("CRITERION_JSON") {
+            let (tp_kind, tp_volume, rate_val) = match self.throughput {
+                Some(Throughput::Bytes(b)) => (
+                    "bytes",
+                    b,
+                    (median > Duration::ZERO).then(|| b as f64 / median.as_secs_f64()),
+                ),
+                Some(Throughput::Elements(n)) => (
+                    "elements",
+                    n,
+                    (median > Duration::ZERO).then(|| n as f64 / median.as_secs_f64()),
+                ),
+                None => ("none", 0, None),
+            };
+            let line = format!(
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{},\"samples\":{},\"throughput\":\"{}\",\"volume\":{},\"rate_per_s\":{}}}",
+                json_escape(&self.name),
+                json_escape(id),
+                median.as_nanos(),
+                samples.len(),
+                tp_kind,
+                tp_volume,
+                rate_val.map_or("null".to_string(), |r| format!("{r:.1}")),
+            );
+            if let Err(e) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| writeln!(f, "{line}"))
+            {
+                eprintln!("criterion shim: cannot append to {path:?}: {e}");
+            }
+        }
         self
     }
 
@@ -146,6 +197,20 @@ impl Bencher {
 /// Optimization barrier (re-export of the std hint).
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// Minimal JSON string escaping for group/bench names.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Collect benchmark functions into a runnable group.
