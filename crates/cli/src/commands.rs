@@ -64,10 +64,13 @@ last 10 audit records:"
 /// published version, 1 otherwise.
 pub fn chaos(args: &Args) -> Result<i32, String> {
     use leaksig_device::{
-        CollectionServer, FaultyTransport, InProcessTransport, RegenerateOutcome, RetryPolicy,
-        SignatureServer, SignatureStore, SyncClient, SyncEventKind,
+        CollectionServer, FaultyTransport, InProcessTransport, IngestConfig, RateLimit,
+        RegenerateOutcome, RegenerationSupervisor, RetryPolicy, SignatureServer, SignatureStore,
+        SupervisorConfig, SyncClient, SyncEventKind,
     };
-    use leaksig_faults::{CrashPoint, FaultKind, FaultPlan};
+    use leaksig_faults::{
+        apply_ingest_fault, CrashPoint, FaultKind, FaultPlan, IngestFaultKind, IngestFaultPlan,
+    };
 
     let seed: u64 = args.parsed_or("seed", 42).map_err(|e| e.to_string())?;
     let kinds: Vec<FaultKind> = FaultKind::parse_list(args.optional("faults").unwrap_or("all"))?;
@@ -79,17 +82,46 @@ pub fn chaos(args: &Args) -> Result<i32, String> {
     if rounds == 0 {
         return Err("--rounds must be at least 1".to_string());
     }
+    // `--ingest garbage,headerbomb|all` switches the capture loop from
+    // the trusted packet path to the hardened raw-bytes frontier, with
+    // the listed ingestion faults mangling the wire images.
+    let ingest_kinds: Option<Vec<IngestFaultKind>> = args
+        .optional("ingest")
+        .map(IngestFaultKind::parse_list)
+        .transpose()?;
+    let deadline_ms: u64 = args.parsed_or("deadline", 5_000).map_err(|e| e.to_string())?;
 
     let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
     println!(
         "chaos: seed {seed}, faults [{}], intensity {intensity}, {rounds} rounds",
         labels.join(",")
     );
+    let mut ingest_plan = ingest_kinds.as_ref().map(|ks| {
+        let labels: Vec<&str> = ks.iter().map(|k| k.label()).collect();
+        println!("raw intake on: ingestion faults [{}]", labels.join(","));
+        IngestFaultPlan::new(seed ^ 0x1A7E57, ks, intensity)
+    });
 
     // A small synthetic market stands in for the capture loop.
     let data = Dataset::generate(MarketConfig::scaled(seed, 0.02));
     let check: PayloadCheck<SensitiveKind> = PayloadCheck::new(data.model.device.all_values());
-    let collector = CollectionServer::new(check, PipelineConfig::default(), 400, seed);
+    let collector = CollectionServer::with_intake(
+        check,
+        PipelineConfig::default(),
+        400,
+        seed,
+        IngestConfig {
+            rate: Some(RateLimit {
+                burst: 32,
+                per_second: 500,
+            }),
+            ..IngestConfig::default()
+        },
+    );
+    let supervisor = RegenerationSupervisor::new(SupervisorConfig {
+        deadline_ms,
+        ..SupervisorConfig::default()
+    });
     let publisher = SignatureServer::new();
     let store = SignatureStore::new();
     let mut client = SyncClient::new(
@@ -107,9 +139,38 @@ pub fn chaos(args: &Args) -> Result<i32, String> {
     let chunk = data.packets.len().div_ceil(rounds).max(1);
     for (round, packets) in data.packets.chunks(chunk).take(rounds).enumerate() {
         for p in packets {
-            collector.ingest(&p.packet);
+            match &mut ingest_plan {
+                None => {
+                    collector.ingest(&p.packet);
+                }
+                Some(plan) => {
+                    let mut raw = p.packet.to_bytes();
+                    let copies = match plan.next_action() {
+                        Some(fault) => apply_ingest_fault(fault, &mut raw),
+                        None => 1,
+                    };
+                    let dst = &p.packet.destination;
+                    for _ in 0..copies {
+                        collector.ingest_raw(&raw, dst.ip, dst.port);
+                    }
+                }
+            }
         }
-        match collector.regenerate(150, &publisher) {
+        if ingest_plan.is_some() {
+            let s = collector.stats();
+            println!(
+                "\nround {round} intake: {} offered, {} admitted, {} parse-rejected, \
+                 {} quarantined, {} rate-limited, {} shed, {} queued",
+                s.raw_seen,
+                s.admitted,
+                s.parse_rejects,
+                s.quarantined,
+                s.rate_limited,
+                s.shed,
+                collector.queue_len()
+            );
+        }
+        match supervisor.regenerate(&collector, 150, &publisher) {
             RegenerateOutcome::Published {
                 version,
                 signatures,
@@ -119,6 +180,12 @@ pub fn chaos(args: &Args) -> Result<i32, String> {
             }
             RegenerateOutcome::Rejected(diags) => {
                 println!("\nround {round}: publish rejected ({} findings)", diags.len())
+            }
+            RegenerateOutcome::TimedOut { deadline_ms } => {
+                println!("\nround {round}: regeneration exceeded {deadline_ms}ms; kept old set")
+            }
+            RegenerateOutcome::Panicked { message } => {
+                println!("\nround {round}: pipeline panicked ({message}); kept old set")
             }
         }
         let report = client.sync(&store);
@@ -173,6 +240,25 @@ pub fn chaos(args: &Args) -> Result<i32, String> {
     );
     let intact = restored.version() == store.version();
     let _ = std::fs::remove_dir_all(&dir);
+
+    if let Some(plan) = &ingest_plan {
+        let ledger = collector.quarantine_ledger();
+        println!(
+            "\n{} ingestion faults injected; last {} quarantine records:",
+            plan.injected(),
+            ledger.len().min(8)
+        );
+        for rec in ledger.iter().rev().take(8).rev() {
+            println!(
+                "  [{:<14}] {}:{} {:>6}B  {}",
+                rec.reason.tag(),
+                rec.source,
+                rec.port,
+                rec.bytes,
+                rec.summary
+            );
+        }
+    }
 
     let converged = publisher.version() > 0 && store.version() == publisher.version();
     let injected = client.transport().injected();

@@ -32,7 +32,8 @@ commands:
   gate      replay through the device gate: --capture FILE --sigs FILE [--policy allow|block]
   inspect   print a signature set:        --sigs FILE
   lint      audit a signature set:        --sigs FILE [--format text|json]  (exit 1 on errors)
-  chaos     fault-injected sync replay:   [--seed N] [--faults drop,corrupt|all] [--intensity X] [--rounds N]  (exit 1 unless converged)
+  chaos     fault-injected sync replay:   [--seed N] [--faults drop,corrupt|all] [--intensity X] [--rounds N]
+            raw-intake frontier:          [--ingest garbage,oversize,headerbomb,dupflood,slowdrip|all] [--deadline MS]  (exit 1 unless converged)
 ";
 
 fn main() {

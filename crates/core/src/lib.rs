@@ -81,8 +81,9 @@ pub mod prelude {
     pub use crate::payload::{Needle, PayloadCheck};
     pub use crate::pipeline::{
         drop_dominated, generate_signatures, generate_signatures_counted,
-        generate_signatures_with, prune_against_normal, run_experiment, run_experiment_refs,
-        ClusterSelection, ExperimentOutcome, FpValidation, GeneratedSignatures, PipelineConfig,
+        generate_signatures_with, prune_against_normal, regeneration_pass, run_experiment,
+        run_experiment_refs, ClusterSelection, ExperimentOutcome, FpValidation,
+        GeneratedSignatures, PipelineConfig,
     };
     pub use crate::signature::{
         signature_from_cluster, ConjunctionSignature, Field, FieldToken, SignatureConfig,

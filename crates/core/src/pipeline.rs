@@ -244,6 +244,26 @@ pub fn generate_signatures_counted<C: leaksig_compress::Compressor + Sync>(
     }
 }
 
+/// One complete regeneration pass: §IV generation over `sample`,
+/// benign-traffic pruning against `normal` (when the config enables
+/// validation), and dominated-signature removal — the exact sequence the
+/// collection server runs outside its state lock. Factored out so a
+/// regeneration supervisor can run the identical pass on a worker thread
+/// (and on bisected sub-samples) without duplicating the ordering, which
+/// is load-bearing: pruning must precede [`drop_dominated`].
+pub fn regeneration_pass(
+    sample: &[&HttpPacket],
+    normal: &[&HttpPacket],
+    config: &PipelineConfig,
+) -> SignatureSet {
+    let mut set = generate_signatures(sample, config);
+    if let Some(v) = config.fp_validation {
+        prune_against_normal(&mut set, normal, v.max_hits);
+    }
+    drop_dominated(&mut set);
+    set
+}
+
 /// Remove signatures whose token set is a superset of another signature's
 /// (same-field containment): whatever the superset matches, the more
 /// general signature already matches, so the superset is dead weight. This

@@ -21,7 +21,15 @@
 //!   block, or park behind a prompt, with a full audit log and
 //!   configurable fail-open/fail-closed degraded modes ([`GateConfig`]);
 //! * [`persist`] — reboot-safe snapshots, including the crash-safe
-//!   checksummed [`SnapshotVault`](persist::SnapshotVault).
+//!   checksummed [`SnapshotVault`](persist::SnapshotVault);
+//! * [`CollectionServer`] — the Fig. 3a collection/generation server,
+//!   with a hardened raw-bytes intake ([`CollectionServer::ingest_raw`]):
+//!   per-source token buckets, hard parse limits, a bounded admission
+//!   queue with an explicit [`Shed`] policy, and a reason-tagged
+//!   quarantine ledger;
+//! * [`RegenerationSupervisor`] — deadline- and panic-guarded §IV
+//!   regeneration with delta-debugging bisection that quarantines poison
+//!   packets and retries on the cleaned reservoir.
 //!
 //! What is *not* simulated is the Android plumbing itself (a VPN-service
 //! or local-proxy capture loop); the gate takes packets as values, which
@@ -32,6 +40,7 @@ pub mod persist;
 mod policy;
 mod server;
 mod store;
+mod supervise;
 pub mod transport;
 
 pub use gate::{AuditRecord, DegradedMode, GateAction, GateConfig, GateStats, PacketGate};
@@ -40,7 +49,11 @@ pub use persist::{
     SnapshotVault,
 };
 pub use policy::{FlowKey, PolicyEngine, UserChoice, Verdict};
-pub use server::{CollectionServer, RegenerateOutcome, ServerStats};
+pub use server::{
+    CollectionServer, IngestConfig, IngestOutcome, QuarantineReason, QuarantineRecord, RateLimit,
+    RegenerateOutcome, ServerStats, Shed,
+};
+pub use supervise::{DefaultRunner, PipelineRunner, RegenerationSupervisor, SupervisorConfig};
 pub use store::{InstallError, SignatureServer, SignatureStore, StoreHealth};
 pub use transport::{
     Fetched, FaultyTransport, InProcessTransport, RetryPolicy, SyncClient, SyncEvent,

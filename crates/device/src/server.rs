@@ -7,6 +7,16 @@
 //! §IV pipeline over the current reservoir and publishes the result to a
 //! [`SignatureServer`] that devices sync from.
 //!
+//! Two intake paths exist. [`CollectionServer::ingest`] takes pre-parsed
+//! packets and trusts them — the in-process path for tests and replay
+//! tools. [`CollectionServer::ingest_raw`] is the hardened frontier for
+//! raw network bytes: a per-source token bucket sheds floods before any
+//! parsing work, [`leaksig_http::parse_request_limited`] enforces hard
+//! resource limits, rejects land in a bounded reason-tagged quarantine
+//! ledger, and admitted packets flow through a bounded queue with an
+//! explicit [`Shed`] policy so overload degrades *recall* (some packets
+//! lost) rather than latency or memory.
+//!
 //! The reservoir uses classic reservoir sampling so the retained sample
 //! stays uniform over everything seen, no matter how long the server
 //! runs — matching the paper's "select N HTTP packets at random out of
@@ -15,14 +25,24 @@
 use crate::store::SignatureServer;
 use leaksig_core::payload::PayloadCheck;
 use leaksig_core::prelude::*;
+use leaksig_http::{parse_request_limited, HttpPacket, ParseError, ParseLimits};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::net::Ipv4Addr;
 
 /// Ingest/regeneration statistics.
+///
+/// Every counter is **monotonic over the server's lifetime**: nothing is
+/// reset by regeneration, quarantine, or queue shedding, so deltas
+/// between two [`CollectionServer::stats`] snapshots are meaningful.
+/// See that method for the per-counter lifecycle.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
-    /// Packets seen.
+    /// Packets that entered classification (trusted `ingest` calls plus
+    /// raw-intake packets drained from the admission queue).
     pub ingested: u64,
     /// Packets routed to the reservoir.
     pub suspicious: u64,
@@ -32,6 +52,20 @@ pub struct ServerStats {
     pub regenerations: u64,
     /// Regenerations whose result the publisher's deploy gate refused.
     pub rejected_publishes: u64,
+    /// Raw wire images offered to `ingest_raw` (admitted or not).
+    pub raw_seen: u64,
+    /// Raw images the limited parser refused.
+    pub parse_rejects: u64,
+    /// Total quarantine ledger admissions: parse rejects, supervisor
+    /// poison verdicts, and poison re-ingests. Always ≥ `parse_rejects`.
+    pub quarantined: u64,
+    /// Raw images refused by the per-source token bucket.
+    pub rate_limited: u64,
+    /// Packets dropped by the shed policy (queue overflow) — the
+    /// incoming packet or a queued victim, depending on [`Shed`].
+    pub shed: u64,
+    /// Raw images that parsed, passed admission, and were queued.
+    pub admitted: u64,
 }
 
 /// What one [`CollectionServer::regenerate`] run produced.
@@ -39,7 +73,9 @@ pub struct ServerStats {
 /// Distinguishes "no suspicious traffic yet" from "the pipeline ran but
 /// the deploy gate refused the result" — operationally opposite
 /// conditions (wait vs. investigate) that the old `Option<u64>` return
-/// collapsed into one.
+/// collapsed into one. The supervised variants
+/// ([`crate::RegenerationSupervisor`]) add two more terminal states for
+/// runs the supervisor had to kill.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegenerateOutcome {
     /// A gated set was published at this version.
@@ -55,6 +91,20 @@ pub enum RegenerateOutcome {
     /// (possible only under a loosened `PipelineConfig`); devices keep
     /// their current set.
     Rejected(Vec<Diagnostic>),
+    /// The supervised run exceeded its deadline on every attempt and
+    /// bisection could not pin the slowdown on a quarantinable subset;
+    /// server state is untouched and devices keep their current set.
+    TimedOut {
+        /// The per-attempt deadline that was exceeded, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The supervised pipeline panicked on every attempt and bisection
+    /// could not isolate the poison; the panic was contained — server
+    /// state is untouched and devices keep their current set.
+    Panicked {
+        /// The panic payload, rendered.
+        message: String,
+    },
 }
 
 impl RegenerateOutcome {
@@ -68,37 +118,213 @@ impl RegenerateOutcome {
     }
 }
 
+/// Which packet the admission queue sacrifices when it is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shed {
+    /// Drop the oldest queued packet and admit the newcomer (tail-drop
+    /// inverted: freshest data wins).
+    Oldest,
+    /// Drop the incoming packet and keep the queue (oldest data wins).
+    Newest,
+    /// Shed suspicious packets *last*: evict the oldest queued benign
+    /// packet first; when everything queued is suspicious, drop a benign
+    /// newcomer, else the oldest suspicious entry. Floods then eat into
+    /// the normal-ring sample (cheap) before they eat recall.
+    SensitiveLast,
+}
+
+impl Shed {
+    /// Stable lower-case label (CLI/event logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            Shed::Oldest => "oldest",
+            Shed::Newest => "newest",
+            Shed::SensitiveLast => "sensitive-last",
+        }
+    }
+}
+
+/// Per-source token-bucket parameters for raw intake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Bucket capacity: the burst a source may send instantaneously.
+    pub burst: u32,
+    /// Sustained refill rate in packets per 1000 logical milliseconds.
+    pub per_second: u32,
+}
+
+/// Configuration of the hardened raw intake path.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Hard parse limits for untrusted bytes.
+    pub limits: ParseLimits,
+    /// Per-source admission rate; `None` admits everything (trusted
+    /// deployments or benchmarks).
+    pub rate: Option<RateLimit>,
+    /// Admission queue bound (≥ 1; lower values shed sooner).
+    pub queue_capacity: usize,
+    /// Who the queue sacrifices when full.
+    pub shed: Shed,
+    /// Quarantine ledger bound: the ledger keeps the most recent this
+    /// many records (the `quarantined` counter keeps the full total).
+    pub quarantine_capacity: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            limits: ParseLimits::intake(),
+            rate: None,
+            queue_capacity: 4096,
+            shed: Shed::SensitiveLast,
+            quarantine_capacity: 256,
+        }
+    }
+}
+
+/// Why a wire image or packet sits in the quarantine ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The raw bytes failed the limited parse.
+    Malformed(ParseError),
+    /// The regeneration supervisor's bisection identified this packet as
+    /// poisoning the pipeline (panic or deadline blowout).
+    Poison,
+    /// The packet matched an earlier poison verdict on arrival and was
+    /// refused before reaching the reservoir again.
+    PoisonReingest,
+}
+
+impl QuarantineReason {
+    /// Stable lower-case reason tag (ledger rendering, event logs).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            QuarantineReason::Malformed(e) => e.tag(),
+            QuarantineReason::Poison => "poison",
+            QuarantineReason::PoisonReingest => "poison-reingest",
+        }
+    }
+}
+
+/// One quarantine ledger entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Why the input was quarantined.
+    pub reason: QuarantineReason,
+    /// Destination address the input was captured toward.
+    pub source: Ipv4Addr,
+    /// Destination port.
+    pub port: u16,
+    /// Size of the offending input in bytes (wire image for parse
+    /// rejects, serialized size for poisoned packets).
+    pub bytes: usize,
+    /// Human-readable head of the input (lossy, truncated).
+    pub summary: String,
+}
+
+/// Verdict of one [`CollectionServer::ingest_raw`] call for the
+/// *incoming* wire image. Queue-overflow evictions of previously-queued
+/// packets are reported through [`ServerStats::shed`], not here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Parsed, admitted, and queued.
+    Admitted {
+        /// How the payload check classified it.
+        suspicious: bool,
+    },
+    /// Refused by the per-source token bucket before parsing.
+    RateLimited,
+    /// Refused and recorded in the quarantine ledger.
+    Quarantined(QuarantineReason),
+    /// The queue was full and the shed policy sacrificed this packet.
+    Shed,
+}
+
 /// The collection + generation server.
 pub struct CollectionServer<T: Copy + Eq + Send> {
     check: PayloadCheck<T>,
     config: PipelineConfig,
+    intake: IngestConfig,
     capacity: usize,
     state: Mutex<ServerState>,
 }
 
+struct TokenBucket {
+    tokens_milli: u64,
+    last_ms: u64,
+}
+
 struct ServerState {
     /// Uniform sample of suspicious packets seen so far.
-    reservoir: Vec<leaksig_http::HttpPacket>,
+    reservoir: Vec<HttpPacket>,
     /// Recent normal packets (ring) for signature validation.
-    normal_ring: Vec<leaksig_http::HttpPacket>,
+    normal_ring: Vec<HttpPacket>,
     normal_pos: usize,
+    /// Admission queue: parsed-and-classified packets awaiting the
+    /// reservoir/ring stage, bounded by `IngestConfig::queue_capacity`.
+    queue: VecDeque<(HttpPacket, bool)>,
+    /// Per-source token buckets (keyed by capture destination address —
+    /// the flow identity this model carries; a deployment keyed by
+    /// uploader identity would swap the key only).
+    buckets: HashMap<Ipv4Addr, TokenBucket>,
+    /// Most recent quarantine records (bounded).
+    ledger: VecDeque<QuarantineRecord>,
+    /// Hashes of packets with a poison verdict: re-ingests are refused.
+    poisoned: HashSet<u64>,
+    /// Logical intake clock in milliseconds; `ingest_raw` advances it by
+    /// one per call, `ingest_raw_at` pins it explicitly.
+    clock_ms: u64,
     rng: StdRng,
     stats: ServerStats,
 }
 
+fn packet_key(p: &HttpPacket) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    p.hash(&mut h);
+    h.finish()
+}
+
+/// Lossy, truncated head of a byte string for ledger summaries.
+fn summarize(raw: &[u8]) -> String {
+    let head = &raw[..raw.len().min(48)];
+    let first_line = head.split(|&b| b == b'\n').next().unwrap_or(head);
+    String::from_utf8_lossy(first_line).trim_end().to_string()
+}
+
 impl<T: Copy + Eq + Send> CollectionServer<T> {
     /// A server keeping at most `capacity` suspicious packets, using
-    /// `check` for the §IV-A split.
+    /// `check` for the §IV-A split, with the default [`IngestConfig`].
     pub fn new(check: PayloadCheck<T>, config: PipelineConfig, capacity: usize, seed: u64) -> Self {
+        Self::with_intake(check, config, capacity, seed, IngestConfig::default())
+    }
+
+    /// [`CollectionServer::new`] with an explicit intake configuration.
+    pub fn with_intake(
+        check: PayloadCheck<T>,
+        config: PipelineConfig,
+        capacity: usize,
+        seed: u64,
+        intake: IngestConfig,
+    ) -> Self {
         assert!(capacity > 0, "capacity must be positive");
+        let intake = IngestConfig {
+            queue_capacity: intake.queue_capacity.max(1),
+            ..intake
+        };
         CollectionServer {
             check,
             config,
+            intake,
             capacity,
             state: Mutex::new(ServerState {
                 reservoir: Vec::with_capacity(capacity),
                 normal_ring: Vec::with_capacity(2048),
                 normal_pos: 0,
+                queue: VecDeque::new(),
+                buckets: HashMap::new(),
+                ledger: VecDeque::new(),
+                poisoned: HashSet::new(),
+                clock_ms: 0,
                 rng: StdRng::seed_from_u64(seed),
                 stats: ServerStats::default(),
             }),
@@ -106,36 +332,221 @@ impl<T: Copy + Eq + Send> CollectionServer<T> {
     }
 
     /// Ingest one captured packet; returns whether it was suspicious.
-    pub fn ingest(&self, packet: &leaksig_http::HttpPacket) -> bool {
+    ///
+    /// This is the **trusted** in-process path: no limits, no admission
+    /// control, no quarantine — the packet goes straight to
+    /// classification. Raw network bytes must go through
+    /// [`CollectionServer::ingest_raw`] instead.
+    pub fn ingest(&self, packet: &HttpPacket) -> bool {
         let suspicious = self.check.is_suspicious(packet);
         let mut st = self.state.lock();
-        st.stats.ingested += 1;
-        if suspicious {
-            st.stats.suspicious += 1;
-            // Reservoir sampling: keep each suspicious packet with
-            // probability capacity / seen-so-far.
-            if st.reservoir.len() < self.capacity {
-                st.reservoir.push(packet.clone());
-            } else {
-                let seen = st.stats.suspicious;
-                let j = st.rng.random_range(0..seen);
-                if (j as usize) < self.capacity {
-                    let slot = j as usize;
-                    st.reservoir[slot] = packet.clone();
+        st.classify(packet.clone(), suspicious, self.capacity);
+        suspicious
+    }
+
+    /// Ingest raw request bytes captured toward `ip:port`, advancing the
+    /// intake clock by one logical millisecond.
+    ///
+    /// The full admission path: per-source token bucket (cheapest, runs
+    /// first), limited parse, poison filter, then the bounded queue with
+    /// the configured shed policy. Use
+    /// [`CollectionServer::ingest_raw_at`] to pin logical time
+    /// explicitly (deterministic rate-limit tests, replaying timestamped
+    /// captures).
+    pub fn ingest_raw(&self, raw: &[u8], ip: Ipv4Addr, port: u16) -> IngestOutcome {
+        let now = {
+            let mut st = self.state.lock();
+            st.clock_ms += 1;
+            st.clock_ms
+        };
+        self.ingest_raw_at(raw, ip, port, now)
+    }
+
+    /// [`CollectionServer::ingest_raw`] at an explicit logical time in
+    /// milliseconds. Time never runs backwards: a `now_ms` older than
+    /// the clock is clamped forward.
+    pub fn ingest_raw_at(&self, raw: &[u8], ip: Ipv4Addr, port: u16, now_ms: u64) -> IngestOutcome {
+        // Admission gate (locked, cheap): count the offer and charge the
+        // source's bucket before spending any parsing work on the bytes.
+        {
+            let mut st = self.state.lock();
+            st.clock_ms = st.clock_ms.max(now_ms);
+            let now = st.clock_ms;
+            st.stats.raw_seen += 1;
+            if let Some(rate) = self.intake.rate {
+                if !st.charge_bucket(ip, now, rate) {
+                    st.stats.rate_limited += 1;
+                    return IngestOutcome::RateLimited;
                 }
             }
-        } else {
-            st.stats.normal += 1;
-            // Bounded ring of recent normal traffic for FP validation.
-            if st.normal_ring.len() < 2048 {
-                st.normal_ring.push(packet.clone());
-            } else {
-                let pos = st.normal_pos;
-                st.normal_ring[pos] = packet.clone();
-                st.normal_pos = (pos + 1) % 2048;
+        }
+
+        // Parse + classify (unlocked: the expensive part must not stall
+        // concurrent intake).
+        let packet = match parse_request_limited(raw, ip, port, &self.intake.limits) {
+            Ok(p) => p,
+            Err(e) => {
+                let reason = QuarantineReason::Malformed(e);
+                let record = QuarantineRecord {
+                    reason: reason.clone(),
+                    source: ip,
+                    port,
+                    bytes: raw.len(),
+                    summary: summarize(raw),
+                };
+                let mut st = self.state.lock();
+                st.stats.parse_rejects += 1;
+                st.quarantine(record, self.intake.quarantine_capacity);
+                return IngestOutcome::Quarantined(reason);
+            }
+        };
+        let suspicious = self.check.is_suspicious(&packet);
+
+        // Enqueue (locked): poison filter, then the shed policy.
+        let mut st = self.state.lock();
+        if st.poisoned.contains(&packet_key(&packet)) {
+            let record = QuarantineRecord {
+                reason: QuarantineReason::PoisonReingest,
+                source: ip,
+                port,
+                bytes: raw.len(),
+                summary: summarize(raw),
+            };
+            st.quarantine(record, self.intake.quarantine_capacity);
+            return IngestOutcome::Quarantined(QuarantineReason::PoisonReingest);
+        }
+        if st.queue.len() >= self.intake.queue_capacity {
+            let shed_incoming = match self.intake.shed {
+                Shed::Newest => true,
+                Shed::Oldest => {
+                    st.queue.pop_front();
+                    false
+                }
+                Shed::SensitiveLast => {
+                    if let Some(pos) = st.queue.iter().position(|(_, s)| !s) {
+                        st.queue.remove(pos);
+                        false
+                    } else if !suspicious {
+                        true
+                    } else {
+                        st.queue.pop_front();
+                        false
+                    }
+                }
+            };
+            st.stats.shed += 1;
+            if shed_incoming {
+                return IngestOutcome::Shed;
             }
         }
-        suspicious
+        st.queue.push_back((packet, suspicious));
+        st.stats.admitted += 1;
+        IngestOutcome::Admitted { suspicious }
+    }
+
+    /// Drain up to `max` packets from the admission queue into the
+    /// reservoir / normal ring. Returns how many were processed.
+    /// [`CollectionServer::regenerate`] (and the supervisor) drain the
+    /// whole queue before sampling, so calling this explicitly is only
+    /// needed to smooth latency or to observe mid-flood state.
+    pub fn pump(&self, max: usize) -> usize {
+        let mut st = self.state.lock();
+        let mut n = 0;
+        while n < max {
+            let Some((packet, suspicious)) = st.queue.pop_front() else {
+                break;
+            };
+            st.classify(packet, suspicious, self.capacity);
+            n += 1;
+        }
+        n
+    }
+
+    /// Drain the entire admission queue.
+    pub fn pump_all(&self) -> usize {
+        self.pump(usize::MAX)
+    }
+
+    /// Packets currently waiting in the admission queue.
+    pub fn queue_len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Snapshot of the most recent quarantine records (bounded by
+    /// [`IngestConfig::quarantine_capacity`]; the total-ever count lives
+    /// in [`ServerStats::quarantined`]).
+    pub fn quarantine_ledger(&self) -> Vec<QuarantineRecord> {
+        self.state.lock().ledger.iter().cloned().collect()
+    }
+
+    /// Quarantine specific packets: remove every reservoir entry equal
+    /// to one of `packets`, record each under `reason`, and remember the
+    /// verdict so re-ingests of the same packet are refused at
+    /// admission. Used by the regeneration supervisor's bisection; also
+    /// callable by an operator who identified a bad packet manually.
+    pub fn quarantine_packets(&self, packets: &[HttpPacket], reason: QuarantineReason) {
+        let mut st = self.state.lock();
+        for p in packets {
+            st.poisoned.insert(packet_key(p));
+            st.reservoir.retain(|r| r != p);
+            let record = QuarantineRecord {
+                reason: reason.clone(),
+                source: p.destination.ip,
+                port: p.destination.port,
+                bytes: p.wire_len(),
+                summary: p.request_line.as_line().chars().take(48).collect(),
+            };
+            st.quarantine(record, self.intake.quarantine_capacity);
+        }
+    }
+
+    /// Pipeline configuration (for the regeneration supervisor).
+    pub(crate) fn pipeline_config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Phase 1 of a regeneration: drain the admission queue, then — under
+    /// the lock — sample `n` reservoir packets (uniform; prefix of a
+    /// shuffle for sub-sampling determinism) and clone out the normal
+    /// slice the pipeline needs. `None` when the reservoir is empty.
+    pub(crate) fn sample_for_regenerate(&self, n: usize) -> Option<(Vec<HttpPacket>, Vec<HttpPacket>)> {
+        self.pump_all();
+        let mut st = self.state.lock();
+        if st.reservoir.is_empty() {
+            return None;
+        }
+        let mut idx: Vec<usize> = (0..st.reservoir.len()).collect();
+        for i in (1..idx.len()).rev() {
+            let j = st.rng.random_range(0..=i as u64) as usize;
+            idx.swap(i, j);
+        }
+        idx.truncate(n);
+        let sample: Vec<HttpPacket> = idx.iter().map(|&i| st.reservoir[i].clone()).collect();
+        let normal: Vec<HttpPacket> = match self.config.fp_validation {
+            Some(v) => st.normal_ring.iter().take(v.sample).cloned().collect(),
+            None => Vec::new(),
+        };
+        Some((sample, normal))
+    }
+
+    /// Phase 3 of a regeneration: account for a finished pipeline run.
+    pub(crate) fn account_publish(
+        &self,
+        publish: Result<u64, Vec<Diagnostic>>,
+        signatures: usize,
+    ) -> RegenerateOutcome {
+        let mut st = self.state.lock();
+        st.stats.regenerations += 1;
+        match publish {
+            Ok(version) => RegenerateOutcome::Published {
+                version,
+                signatures,
+            },
+            Err(diags) => {
+                st.stats.rejected_publishes += 1;
+                RegenerateOutcome::Rejected(diags)
+            }
+        }
     }
 
     /// Run the §IV pipeline over (up to) `n` reservoir packets, validate
@@ -145,56 +556,35 @@ impl<T: Copy + Eq + Send> CollectionServer<T> {
     /// packets out) and while bumping counters afterwards; the expensive
     /// §IV run — clustering, signature generation, FP pruning — happens
     /// outside the lock, so `ingest` keeps flowing during regeneration.
+    ///
+    /// This inline variant has **no deadline and no panic isolation**;
+    /// production loops should prefer
+    /// [`crate::RegenerationSupervisor::regenerate`], which wraps the
+    /// same three phases in a supervised worker.
     pub fn regenerate(&self, n: usize, server: &SignatureServer) -> RegenerateOutcome {
-        // Phase 1 (locked): sample n of the reservoir (it is already
-        // uniform; take a prefix of a shuffle for sub-sampling
-        // determinism) and clone out what the pipeline needs.
-        let (sample, normal) = {
-            let mut st = self.state.lock();
-            if st.reservoir.is_empty() {
-                return RegenerateOutcome::NoTraffic;
-            }
-            let mut idx: Vec<usize> = (0..st.reservoir.len()).collect();
-            for i in (1..idx.len()).rev() {
-                let j = st.rng.random_range(0..=i as u64) as usize;
-                idx.swap(i, j);
-            }
-            idx.truncate(n);
-            let sample: Vec<leaksig_http::HttpPacket> =
-                idx.iter().map(|&i| st.reservoir[i].clone()).collect();
-            let normal: Vec<leaksig_http::HttpPacket> = match self.config.fp_validation {
-                Some(v) => st.normal_ring.iter().take(v.sample).cloned().collect(),
-                None => Vec::new(),
-            };
-            (sample, normal)
+        let Some((sample, normal)) = self.sample_for_regenerate(n) else {
+            return RegenerateOutcome::NoTraffic;
         };
-
-        // Phase 2 (unlocked): the §IV pipeline.
-        let sample_refs: Vec<&leaksig_http::HttpPacket> = sample.iter().collect();
-        let mut set = generate_signatures(&sample_refs, &self.config);
-        if let Some(v) = self.config.fp_validation {
-            let normal_refs: Vec<&leaksig_http::HttpPacket> = normal.iter().collect();
-            prune_against_normal(&mut set, &normal_refs, v.max_hits);
-        }
-        drop_dominated(&mut set);
-        let publish = server.publish(&set);
-
-        // Phase 3 (locked): account for the run.
-        let mut st = self.state.lock();
-        st.stats.regenerations += 1;
-        match publish {
-            Ok(version) => RegenerateOutcome::Published {
-                version,
-                signatures: set.len(),
-            },
-            Err(diags) => {
-                st.stats.rejected_publishes += 1;
-                RegenerateOutcome::Rejected(diags)
-            }
-        }
+        let sample_refs: Vec<&HttpPacket> = sample.iter().collect();
+        let normal_refs: Vec<&HttpPacket> = normal.iter().collect();
+        let set = regeneration_pass(&sample_refs, &normal_refs, &self.config);
+        self.account_publish(server.publish(&set), set.len())
     }
 
     /// Counter snapshot.
+    ///
+    /// Counter lifecycle: all counters start at zero, only ever
+    /// increase, and survive regenerations. `raw_seen` bumps on every
+    /// `ingest_raw` offer; exactly one of `rate_limited`,
+    /// `parse_rejects` (+`quarantined`), `shed`, or `admitted` bumps for
+    /// that same offer — except under [`Shed::Oldest`] /
+    /// [`Shed::SensitiveLast`], where an overflow bumps `shed` for a
+    /// *queued victim* while the incoming packet still bumps `admitted`.
+    /// `ingested`/`suspicious`/`normal` bump when a packet enters
+    /// classification: immediately for trusted [`CollectionServer::ingest`],
+    /// at queue-drain time (`pump`/`regenerate`) for raw intake.
+    /// `quarantined` also bumps for supervisor poison verdicts, which do
+    /// not originate from an `ingest_raw` offer.
     pub fn stats(&self) -> ServerStats {
         self.state.lock().stats
     }
@@ -205,6 +595,76 @@ impl<T: Copy + Eq + Send> CollectionServer<T> {
     }
 }
 
+impl ServerState {
+    /// Route one classified packet into the reservoir or normal ring.
+    fn classify(&mut self, packet: HttpPacket, suspicious: bool, capacity: usize) {
+        self.stats.ingested += 1;
+        if suspicious {
+            self.stats.suspicious += 1;
+            // Reservoir sampling: keep each suspicious packet with
+            // probability capacity / seen-so-far.
+            if self.reservoir.len() < capacity {
+                self.reservoir.push(packet);
+            } else {
+                let seen = self.stats.suspicious;
+                let j = self.rng.random_range(0..seen);
+                if (j as usize) < capacity {
+                    let slot = j as usize;
+                    self.reservoir[slot] = packet;
+                }
+            }
+        } else {
+            self.stats.normal += 1;
+            // Bounded ring of recent normal traffic for FP validation.
+            if self.normal_ring.len() < 2048 {
+                self.normal_ring.push(packet);
+            } else {
+                let pos = self.normal_pos;
+                self.normal_ring[pos] = packet;
+                self.normal_pos = (pos + 1) % 2048;
+            }
+        }
+    }
+
+    /// Take one token from `ip`'s bucket at logical time `now`; returns
+    /// whether the packet is admitted. Buckets refill at
+    /// `rate.per_second` per 1000 logical ms up to `rate.burst`. The
+    /// bucket map is bounded: when a flood of distinct sources would
+    /// grow it past 8192 entries, the map resets (a crude sliding
+    /// window — sources restart with a full burst, which errs toward
+    /// admitting).
+    fn charge_bucket(&mut self, ip: Ipv4Addr, now: u64, rate: RateLimit) -> bool {
+        const MILLI: u64 = 1000;
+        if self.buckets.len() >= 8192 && !self.buckets.contains_key(&ip) {
+            self.buckets.clear();
+        }
+        let bucket = self.buckets.entry(ip).or_insert(TokenBucket {
+            tokens_milli: rate.burst as u64 * MILLI,
+            last_ms: now,
+        });
+        let elapsed = now.saturating_sub(bucket.last_ms);
+        bucket.last_ms = now;
+        // per_second tokens / 1000 ms == per_second milli-tokens per ms.
+        bucket.tokens_milli = (bucket.tokens_milli + elapsed * rate.per_second as u64)
+            .min(rate.burst as u64 * MILLI);
+        if bucket.tokens_milli >= MILLI {
+            bucket.tokens_milli -= MILLI;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Append a ledger record, evicting the oldest past `capacity`.
+    fn quarantine(&mut self, record: QuarantineRecord, capacity: usize) {
+        self.stats.quarantined += 1;
+        self.ledger.push_back(record);
+        while self.ledger.len() > capacity.max(1) {
+            self.ledger.pop_front();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,7 +672,7 @@ mod tests {
     use leaksig_http::RequestBuilder;
     use std::net::Ipv4Addr;
 
-    fn leak(i: usize) -> leaksig_http::HttpPacket {
+    fn leak(i: usize) -> HttpPacket {
         RequestBuilder::get("/getad")
             .query("imei", "355195000000017")
             .query("slot", &(i % 9).to_string())
@@ -220,7 +680,7 @@ mod tests {
             .build()
     }
 
-    fn clean(i: usize) -> leaksig_http::HttpPacket {
+    fn clean(i: usize) -> HttpPacket {
         RequestBuilder::get("/img")
             .query("f", &format!("{i:06x}.png"))
             .destination(Ipv4Addr::new(198, 51, 100, 8), 80, "cdn.example.jp")
@@ -234,6 +694,10 @@ mod tests {
             64,
             7,
         )
+    }
+
+    fn raw_of(p: &HttpPacket) -> (Vec<u8>, Ipv4Addr, u16) {
+        (p.to_bytes(), p.destination.ip, p.destination.port)
     }
 
     #[test]
@@ -258,6 +722,206 @@ mod tests {
         }
         assert_eq!(srv.reservoir_len(), 64);
         assert_eq!(srv.stats().suspicious, 500);
+    }
+
+    #[test]
+    fn ingest_raw_parses_queues_and_pumps() {
+        let srv = server();
+        let (raw, ip, port) = raw_of(&leak(1));
+        assert_eq!(
+            srv.ingest_raw(&raw, ip, port),
+            IngestOutcome::Admitted { suspicious: true }
+        );
+        let (raw, ip, port) = raw_of(&clean(1));
+        assert_eq!(
+            srv.ingest_raw(&raw, ip, port),
+            IngestOutcome::Admitted { suspicious: false }
+        );
+        assert_eq!(srv.queue_len(), 2);
+        assert_eq!(srv.stats().ingested, 0, "not classified until pumped");
+        assert_eq!(srv.pump_all(), 2);
+        assert_eq!(srv.queue_len(), 0);
+        let stats = srv.stats();
+        assert_eq!((stats.ingested, stats.suspicious, stats.normal), (2, 1, 1));
+        assert_eq!((stats.raw_seen, stats.admitted), (2, 2));
+        assert_eq!(srv.reservoir_len(), 1);
+    }
+
+    #[test]
+    fn ingest_raw_quarantines_malformed_with_tagged_reason() {
+        let srv = server();
+        let out = srv.ingest_raw(b"\x00\x01garbage without structure", Ipv4Addr::LOCALHOST, 80);
+        let IngestOutcome::Quarantined(reason) = out else {
+            panic!("garbage must be quarantined, got {out:?}");
+        };
+        assert!(matches!(reason, QuarantineReason::Malformed(_)));
+
+        // A header bomb is rejected with its own tag, bounded work.
+        let mut bomb = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..1000 {
+            bomb.extend_from_slice(format!("x-{i}: v\r\n").as_bytes());
+        }
+        bomb.extend_from_slice(b"\r\n");
+        let out = srv.ingest_raw(&bomb, Ipv4Addr::LOCALHOST, 80);
+        let IngestOutcome::Quarantined(reason) = out else {
+            panic!("bomb must be quarantined, got {out:?}");
+        };
+        assert_eq!(reason.tag(), "header-bomb");
+
+        let stats = srv.stats();
+        assert_eq!(stats.parse_rejects, 2);
+        assert_eq!(stats.quarantined, 2);
+        assert_eq!(stats.admitted, 0);
+        let ledger = srv.quarantine_ledger();
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger[1].reason.tag(), "header-bomb");
+        assert!(ledger[1].summary.starts_with("GET / HTTP/1.1"));
+        assert_eq!(srv.queue_len(), 0, "rejects never reach the queue");
+    }
+
+    #[test]
+    fn quarantine_ledger_is_bounded() {
+        let srv = CollectionServer::with_intake(
+            PayloadCheck::new([("imei", "355195000000017")]),
+            PipelineConfig::default(),
+            8,
+            7,
+            IngestConfig {
+                quarantine_capacity: 4,
+                ..IngestConfig::default()
+            },
+        );
+        for i in 0..20 {
+            srv.ingest_raw(format!("junk-{i}").as_bytes(), Ipv4Addr::LOCALHOST, 80);
+        }
+        assert_eq!(srv.stats().quarantined, 20, "counter keeps the total");
+        let ledger = srv.quarantine_ledger();
+        assert_eq!(ledger.len(), 4, "ledger keeps the most recent");
+        assert_eq!(ledger[3].summary, "junk-19");
+    }
+
+    #[test]
+    fn token_bucket_sheds_floods_then_refills() {
+        let srv = CollectionServer::with_intake(
+            PayloadCheck::new([("imei", "355195000000017")]),
+            PipelineConfig::default(),
+            8,
+            7,
+            IngestConfig {
+                rate: Some(RateLimit {
+                    burst: 3,
+                    per_second: 1000,
+                }),
+                ..IngestConfig::default()
+            },
+        );
+        let (raw, ip, port) = raw_of(&clean(0));
+        // Burst of 5 at the same instant: 3 admitted, 2 rate-limited.
+        for i in 0..5 {
+            let out = srv.ingest_raw_at(&raw, ip, port, 10);
+            if i < 3 {
+                assert_eq!(out, IngestOutcome::Admitted { suspicious: false });
+            } else {
+                assert_eq!(out, IngestOutcome::RateLimited);
+            }
+        }
+        // A different source is unaffected.
+        let (raw2, ip2, port2) = raw_of(&leak(0));
+        assert_eq!(
+            srv.ingest_raw_at(&raw2, ip2, port2, 10),
+            IngestOutcome::Admitted { suspicious: true }
+        );
+        // One logical second later the first source has refilled.
+        assert_eq!(
+            srv.ingest_raw_at(&raw, ip, port, 1010),
+            IngestOutcome::Admitted { suspicious: false }
+        );
+        assert_eq!(srv.stats().rate_limited, 2);
+    }
+
+    #[test]
+    fn shed_policies_pick_the_right_victim() {
+        let mk = |shed| {
+            CollectionServer::with_intake(
+                PayloadCheck::new([("imei", "355195000000017")]),
+                PipelineConfig::default(),
+                8,
+                7,
+                IngestConfig {
+                    queue_capacity: 2,
+                    shed,
+                    ..IngestConfig::default()
+                },
+            )
+        };
+
+        // Newest: the incoming packet is sacrificed.
+        let srv = mk(Shed::Newest);
+        let (a, ip, port) = raw_of(&leak(0));
+        srv.ingest_raw(&a, ip, port);
+        srv.ingest_raw(&a, ip, port);
+        assert_eq!(srv.ingest_raw(&a, ip, port), IngestOutcome::Shed);
+        assert_eq!(srv.queue_len(), 2);
+        assert_eq!(srv.stats().shed, 1);
+
+        // Oldest: the queue front is sacrificed, the newcomer admitted.
+        let srv = mk(Shed::Oldest);
+        srv.ingest_raw(&a, ip, port);
+        srv.ingest_raw(&a, ip, port);
+        assert_eq!(
+            srv.ingest_raw(&a, ip, port),
+            IngestOutcome::Admitted { suspicious: true }
+        );
+        assert_eq!(srv.queue_len(), 2);
+        assert_eq!(srv.stats().shed, 1);
+
+        // SensitiveLast: benign queue entries are evicted before any
+        // suspicious one; a benign newcomer into an all-suspicious queue
+        // is itself shed.
+        let srv = mk(Shed::SensitiveLast);
+        let (benign, bip, bport) = raw_of(&clean(0));
+        srv.ingest_raw(&benign, bip, bport);
+        srv.ingest_raw(&a, ip, port);
+        assert_eq!(
+            srv.ingest_raw(&a, ip, port),
+            IngestOutcome::Admitted { suspicious: true },
+            "evicts the queued benign packet"
+        );
+        srv.pump_all();
+        let stats = srv.stats();
+        assert_eq!(stats.suspicious, 2, "both suspicious packets survived");
+        assert_eq!(stats.normal, 0, "the benign packet was the victim");
+        srv.ingest_raw(&a, ip, port);
+        srv.ingest_raw(&a, ip, port);
+        assert_eq!(
+            srv.ingest_raw(&benign, bip, bport),
+            IngestOutcome::Shed,
+            "benign newcomer loses to an all-suspicious queue"
+        );
+    }
+
+    #[test]
+    fn quarantined_packets_leave_reservoir_and_stay_out() {
+        let srv = server();
+        for i in 0..10 {
+            srv.ingest(&leak(i));
+        }
+        assert_eq!(srv.reservoir_len(), 10);
+        let poison = leak(3);
+        srv.quarantine_packets(std::slice::from_ref(&poison), QuarantineReason::Poison);
+        assert_eq!(srv.reservoir_len(), 9);
+        let ledger = srv.quarantine_ledger();
+        assert_eq!(ledger.last().unwrap().reason, QuarantineReason::Poison);
+        assert_eq!(srv.stats().quarantined, 1);
+
+        // Re-ingesting the same packet through the raw path is refused.
+        let (raw, ip, port) = raw_of(&poison);
+        assert_eq!(
+            srv.ingest_raw(&raw, ip, port),
+            IngestOutcome::Quarantined(QuarantineReason::PoisonReingest)
+        );
+        assert_eq!(srv.reservoir_len(), 9);
+        assert_eq!(srv.stats().quarantined, 2);
     }
 
     #[test]
@@ -296,6 +960,20 @@ mod tests {
 
         // Second regeneration bumps the version.
         assert_eq!(srv.regenerate(20, &publisher).published(), Some(2));
+    }
+
+    #[test]
+    fn regenerate_drains_the_intake_queue_first() {
+        let srv = server();
+        for i in 0..40 {
+            let (raw, ip, port) = raw_of(&leak(i));
+            srv.ingest_raw(&raw, ip, port);
+        }
+        assert_eq!(srv.queue_len(), 40);
+        let publisher = SignatureServer::new();
+        assert!(srv.regenerate(20, &publisher).published().is_some());
+        assert_eq!(srv.queue_len(), 0);
+        assert_eq!(srv.stats().ingested, 40);
     }
 
     #[test]

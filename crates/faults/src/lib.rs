@@ -17,7 +17,10 @@
 //! * byte-mangling helpers ([`truncate_bytes`], [`flip_bytes`]) shared by
 //!   the transport wrapper and the tests;
 //! * [`CrashPoint`] — where a simulated power loss interrupts a
-//!   persistence write (see `leaksig-device::persist`).
+//!   persistence write (see `leaksig-device::persist`);
+//! * [`ingest`] — the *inbound* taxonomy: what raw mobile traffic does to
+//!   a collection server's intake (garbage bytes, oversized declarations,
+//!   header bombs, duplicate floods, slow-drip truncation).
 //!
 //! Everything here is *logical*: delays are millisecond numbers carried in
 //! the result, never real sleeps, so chaos tests run at full speed and
@@ -25,6 +28,10 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+pub mod ingest;
+
+pub use ingest::{apply_ingest_fault, IngestFault, IngestFaultKind, IngestFaultPlan};
 
 /// A class of injectable transport fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

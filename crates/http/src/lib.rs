@@ -9,7 +9,9 @@
 //! * [`HttpPacket`] — the packet model, with the field accessors the
 //!   distance and signature layers consume;
 //! * [`parse_request`] — an RFC 7230-subset parser from raw request bytes
-//!   (request line, header fields, `Content-Length`-delimited body);
+//!   (request line, header fields, `Content-Length`-delimited body), and
+//!   [`parse_request_limited`] — the same parser behind hard
+//!   [`ParseLimits`] for untrusted intake paths;
 //! * [`HttpPacket::to_bytes`] — the inverse serializer;
 //! * [`RequestBuilder`] — ergonomic construction for generators and tests;
 //! * [`query`] — `application/x-www-form-urlencoded` encode/decode.
@@ -26,7 +28,7 @@ pub mod query;
 
 pub use builder::RequestBuilder;
 pub use model::{Destination, HttpPacket, Method, RequestLine};
-pub use parse::{parse_request, ParseError};
+pub use parse::{parse_request, parse_request_limited, ParseError, ParseLimits};
 
 #[cfg(test)]
 mod tests {

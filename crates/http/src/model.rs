@@ -68,9 +68,19 @@ impl Destination {
     /// two are a second-level public suffix ("m.yahoo.co.jp" →
     /// "yahoo.co.jp"). Used for per-domain aggregation in the Table II
     /// reproduction.
+    ///
+    /// Hosts with no registrable domain are returned whole: IPv4
+    /// literals (slicing "10.0.0.1" to its last two labels would invent
+    /// a bogus "0.1" aggregate), single-label hosts ("localhost"), and
+    /// the empty string. A trailing root-label dot ("example.com.") is
+    /// stripped before slicing, so the fully-qualified spelling
+    /// aggregates with the plain one.
     pub fn base_domain(&self) -> &str {
         const SECOND_LEVEL: &[&str] = &["co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp"];
-        let host = self.host.as_str();
+        let host = self.host.strip_suffix('.').unwrap_or(&self.host);
+        if host.parse::<Ipv4Addr>().is_ok() {
+            return host;
+        }
         let dots: Vec<usize> = host.rmatch_indices('.').map(|(i, _)| i).collect();
         if dots.len() < 2 {
             return host;
@@ -209,6 +219,26 @@ mod tests {
         assert_eq!(dest("m.yahoo.co.jp").base_domain(), "yahoo.co.jp");
         assert_eq!(dest("yahoo.co.jp").base_domain(), "yahoo.co.jp");
         assert_eq!(dest("a.b.i-mobile.co.jp").base_domain(), "i-mobile.co.jp");
+    }
+
+    #[test]
+    fn base_domain_degenerate_hosts() {
+        // IPv4 literals have no registrable domain — the address is the
+        // identity, never a sliced "0.1".
+        assert_eq!(dest("10.0.0.1").base_domain(), "10.0.0.1");
+        assert_eq!(dest("203.0.113.254").base_domain(), "203.0.113.254");
+        // Single-label hosts come back whole.
+        assert_eq!(dest("localhost").base_domain(), "localhost");
+        assert_eq!(dest("intranet").base_domain(), "intranet");
+        // Trailing root-label dot is stripped, so FQDN spellings
+        // aggregate with the plain ones.
+        assert_eq!(dest("example.com.").base_domain(), "example.com");
+        assert_eq!(dest("a.b.example.com.").base_domain(), "example.com");
+        assert_eq!(dest("m.yahoo.co.jp.").base_domain(), "yahoo.co.jp");
+        assert_eq!(dest("localhost.").base_domain(), "localhost");
+        // Empty and bare-dot hosts do not panic.
+        assert_eq!(dest("").base_domain(), "");
+        assert_eq!(dest(".").base_domain(), "");
     }
 
     #[test]

@@ -5,9 +5,65 @@
 //! `Content-Length` (or by end-of-input when absent — capture files often
 //! lack the header for GETs). Both CRLF and bare LF line endings are
 //! accepted; traffic dumps are sloppy.
+//!
+//! Two entry points: [`parse_request`] trusts its input (in-process
+//! captures, tests), while [`parse_request_limited`] enforces
+//! [`ParseLimits`] and is what a collection server exposed to raw mobile
+//! traffic must use — a header bomb or a multi-gigabyte `Content-Length`
+//! is rejected with a classified error before any proportional work or
+//! allocation happens.
 
 use crate::model::{Destination, HttpPacket, Method, RequestLine};
 use std::net::Ipv4Addr;
+
+/// Hard resource limits for parsing untrusted request bytes.
+///
+/// Every limit is enforced *before* the corresponding work: the header
+/// count before pushing the header, the body size before copying the
+/// body, the line lengths before materialising the line as a `String`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum request-line length in bytes (terminator excluded).
+    pub max_request_line: usize,
+    /// Maximum number of header fields.
+    pub max_header_count: usize,
+    /// Maximum length of one header line in bytes (terminator excluded).
+    pub max_header_line: usize,
+    /// Maximum body size in bytes — enforced against the *declared*
+    /// `Content-Length` as well as the actual trailing bytes, so a
+    /// dishonest declaration is rejected without allocation.
+    pub max_body: usize,
+}
+
+impl ParseLimits {
+    /// No limits: the trusting [`parse_request`] behaviour.
+    pub const UNLIMITED: ParseLimits = ParseLimits {
+        max_request_line: usize::MAX,
+        max_header_count: usize::MAX,
+        max_header_line: usize::MAX,
+        max_body: usize::MAX,
+    };
+
+    /// Defaults for an internet-facing intake path: 8 KiB request line
+    /// and header lines, 128 headers, 1 MiB body. Generous for mobile
+    /// ad/analytics traffic (the paper's dataset averages well under
+    /// 2 KiB per request), tight enough that a flood of maximal packets
+    /// stays bounded.
+    pub fn intake() -> ParseLimits {
+        ParseLimits {
+            max_request_line: 8 * 1024,
+            max_header_count: 128,
+            max_header_line: 8 * 1024,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits::intake()
+    }
+}
 
 /// Parse failure, with enough position information to debug a capture.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +90,54 @@ pub enum ParseError {
         /// Bytes actually present.
         got: usize,
     },
+    /// The request line exceeded [`ParseLimits::max_request_line`].
+    RequestLineTooLong {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// More header fields than [`ParseLimits::max_header_count`].
+    TooManyHeaders {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A header line exceeded [`ParseLimits::max_header_line`]
+    /// (0-based line number, limit).
+    HeaderTooLong {
+        /// 0-based header line number.
+        line: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The body (declared via `Content-Length` or actually present)
+    /// exceeded [`ParseLimits::max_body`].
+    BodyTooLarge {
+        /// The configured limit.
+        limit: usize,
+        /// Declared or actual body size.
+        got: usize,
+    },
+}
+
+impl ParseError {
+    /// Stable lower-case label naming the reject class — what quarantine
+    /// ledgers and event logs key on. One label per variant; labels never
+    /// change even if the variant payloads do.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ParseError::Empty => "empty",
+            ParseError::MalformedRequestLine(_) => "bad-request-line",
+            ParseError::BadVersion(_) => "bad-version",
+            ParseError::MalformedHeader(_) => "bad-header",
+            ParseError::BadHeaderName(_) => "bad-header-name",
+            ParseError::UnterminatedHeaders => "unterminated-headers",
+            ParseError::BadContentLength(_) => "bad-content-length",
+            ParseError::TruncatedBody { .. } => "truncated-body",
+            ParseError::RequestLineTooLong { .. } => "request-line-too-long",
+            ParseError::TooManyHeaders { .. } => "header-bomb",
+            ParseError::HeaderTooLong { .. } => "header-too-long",
+            ParseError::BodyTooLarge { .. } => "body-too-large",
+        }
+    }
 }
 
 impl std::fmt::Display for ParseError {
@@ -49,22 +153,50 @@ impl std::fmt::Display for ParseError {
             ParseError::TruncatedBody { expected, got } => {
                 write!(f, "body truncated: expected {expected} bytes, got {got}")
             }
+            ParseError::RequestLineTooLong { limit } => {
+                write!(f, "request line exceeds {limit} bytes")
+            }
+            ParseError::TooManyHeaders { limit } => {
+                write!(f, "more than {limit} header fields")
+            }
+            ParseError::HeaderTooLong { line, limit } => {
+                write!(f, "header line {line} exceeds {limit} bytes")
+            }
+            ParseError::BodyTooLarge { limit, got } => {
+                write!(f, "body of {got} bytes exceeds {limit}-byte limit")
+            }
         }
     }
 }
 
 impl std::error::Error for ParseError {}
 
-/// Split off one line (supporting `\r\n` and `\n`), returning
-/// `(line_without_terminator, rest)`, or `None` if no terminator exists.
-fn take_line(input: &[u8]) -> Option<(&[u8], &[u8])> {
-    let nl = input.iter().position(|&b| b == b'\n')?;
-    let line = if nl > 0 && input[nl - 1] == b'\r' {
-        &input[..nl - 1]
-    } else {
-        &input[..nl]
-    };
-    Some((line, &input[nl + 1..]))
+/// Split off one line (supporting `\r\n` and `\n`), searching for the
+/// terminator only within the first `max_len + 2` bytes so a giant
+/// newline-less blob costs at most `max_len` of scanning.
+///
+/// Returns `Ok(Some((line, rest)))` on success, `Ok(None)` when the input
+/// ends before any terminator, and `Err(())` when the line would exceed
+/// `max_len` bytes.
+type LineAndRest<'a> = Option<(&'a [u8], &'a [u8])>;
+
+fn take_line_within(input: &[u8], max_len: usize) -> Result<LineAndRest<'_>, ()> {
+    let window = max_len.saturating_add(2).min(input.len());
+    match input[..window].iter().position(|&b| b == b'\n') {
+        Some(nl) => {
+            let line = if nl > 0 && input[nl - 1] == b'\r' {
+                &input[..nl - 1]
+            } else {
+                &input[..nl]
+            };
+            if line.len() > max_len {
+                return Err(());
+            }
+            Ok(Some((line, &input[nl + 1..])))
+        }
+        None if input.len() > window => Err(()),
+        None => Ok(None),
+    }
 }
 
 fn is_token_byte(b: u8) -> bool {
@@ -74,8 +206,28 @@ fn is_token_byte(b: u8) -> bool {
 /// Parse raw request bytes captured toward `ip:port` into an
 /// [`HttpPacket`]. The packet's host is taken from the `Host` header
 /// (empty string when absent, as in HTTP/1.0 captures).
+///
+/// This entry point applies **no resource limits** and is only
+/// appropriate for trusted in-process input; an intake path fed raw
+/// network bytes must use [`parse_request_limited`].
 pub fn parse_request(raw: &[u8], ip: Ipv4Addr, port: u16) -> Result<HttpPacket, ParseError> {
-    let (first, mut rest) = take_line(raw).ok_or(ParseError::Empty)?;
+    parse_request_limited(raw, ip, port, &ParseLimits::UNLIMITED)
+}
+
+/// [`parse_request`] under hard resource limits: every limit is checked
+/// before the corresponding allocation or copy, so the cost of rejecting
+/// an adversarial input is bounded by the limits, not by the input.
+pub fn parse_request_limited(
+    raw: &[u8],
+    ip: Ipv4Addr,
+    port: u16,
+    limits: &ParseLimits,
+) -> Result<HttpPacket, ParseError> {
+    let (first, mut rest) = take_line_within(raw, limits.max_request_line)
+        .map_err(|()| ParseError::RequestLineTooLong {
+            limit: limits.max_request_line,
+        })?
+        .ok_or(ParseError::Empty)?;
     if first.is_empty() {
         return Err(ParseError::Empty);
     }
@@ -98,11 +250,21 @@ pub fn parse_request(raw: &[u8], ip: Ipv4Addr, port: u16) -> Result<HttpPacket, 
     let mut line_no = 0usize;
     let body;
     loop {
-        let (line, next) = take_line(rest).ok_or(ParseError::UnterminatedHeaders)?;
+        let (line, next) = take_line_within(rest, limits.max_header_line)
+            .map_err(|()| ParseError::HeaderTooLong {
+                line: line_no,
+                limit: limits.max_header_line,
+            })?
+            .ok_or(ParseError::UnterminatedHeaders)?;
         rest = next;
         if line.is_empty() {
             body = rest;
             break;
+        }
+        if headers.len() >= limits.max_header_count {
+            return Err(ParseError::TooManyHeaders {
+                limit: limits.max_header_count,
+            });
         }
         let colon = line
             .iter()
@@ -134,6 +296,14 @@ pub fn parse_request(raw: &[u8], ip: Ipv4Addr, port: u16) -> Result<HttpPacket, 
                 .trim()
                 .parse()
                 .map_err(|_| ParseError::BadContentLength(text.into_owned()))?;
+            // The declaration alone is enough to reject: a dishonest
+            // multi-gigabyte Content-Length must not survive to a copy.
+            if expected > limits.max_body {
+                return Err(ParseError::BodyTooLarge {
+                    limit: limits.max_body,
+                    got: expected,
+                });
+            }
             if body.len() < expected {
                 return Err(ParseError::TruncatedBody {
                     expected,
@@ -142,7 +312,15 @@ pub fn parse_request(raw: &[u8], ip: Ipv4Addr, port: u16) -> Result<HttpPacket, 
             }
             body[..expected].to_vec()
         }
-        None => body.to_vec(),
+        None => {
+            if body.len() > limits.max_body {
+                return Err(ParseError::BodyTooLarge {
+                    limit: limits.max_body,
+                    got: body.len(),
+                });
+            }
+            body.to_vec()
+        }
     };
 
     let host = parse_host(&headers);
@@ -301,5 +479,126 @@ mod tests {
         };
         assert!(e.to_string().contains("expected 5"));
         assert!(ParseError::Empty.to_string().contains("empty"));
+    }
+
+    fn tight() -> ParseLimits {
+        ParseLimits {
+            max_request_line: 64,
+            max_header_count: 4,
+            max_header_line: 48,
+            max_body: 128,
+        }
+    }
+
+    fn parse_tight(raw: &[u8]) -> Result<HttpPacket, ParseError> {
+        parse_request_limited(raw, IP, 80, &tight())
+    }
+
+    #[test]
+    fn limited_accepts_conforming_requests() {
+        let pkt = parse_tight(
+            b"POST /track HTTP/1.1\r\nHost: flurry.com\r\nContent-Length: 11\r\n\r\nimei=355195",
+        )
+        .unwrap();
+        assert_eq!(pkt.body, b"imei=355195");
+        // And the unlimited entry point is the limited one with no limits.
+        let raw = b"GET / HTTP/1.1\r\nHost: h\r\n\r\n";
+        assert_eq!(
+            parse(raw).unwrap(),
+            parse_request_limited(raw, IP, 80, &ParseLimits::UNLIMITED).unwrap()
+        );
+    }
+
+    #[test]
+    fn request_line_limit() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 100));
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert_eq!(
+            parse_tight(&raw),
+            Err(ParseError::RequestLineTooLong { limit: 64 })
+        );
+        // A newline-less blob larger than the limit is the same reject,
+        // not UnterminatedHeaders/Empty.
+        let blob = vec![b'x'; 500];
+        assert_eq!(
+            parse_tight(&blob),
+            Err(ParseError::RequestLineTooLong { limit: 64 })
+        );
+    }
+
+    #[test]
+    fn header_count_limit() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..10 {
+            raw.extend_from_slice(format!("x-h{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert_eq!(
+            parse_tight(&raw),
+            Err(ParseError::TooManyHeaders { limit: 4 })
+        );
+    }
+
+    #[test]
+    fn header_line_limit() {
+        let mut raw = b"GET / HTTP/1.1\r\nx-big: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'v', 100));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(
+            parse_tight(&raw),
+            Err(ParseError::HeaderTooLong { line: 0, limit: 48 })
+        );
+    }
+
+    #[test]
+    fn body_limits_declared_and_actual() {
+        // Dishonest declaration: rejected on the declared size even
+        // though no body bytes follow.
+        assert_eq!(
+            parse_tight(b"POST / HTTP/1.1\r\nContent-Length: 999999\r\n\r\n"),
+            Err(ParseError::BodyTooLarge {
+                limit: 128,
+                got: 999999
+            })
+        );
+        // Undeclared body: rejected on the actual trailing bytes.
+        let mut raw = b"POST / HTTP/1.1\r\nHost: h\r\n\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'b', 200));
+        assert_eq!(
+            parse_tight(&raw),
+            Err(ParseError::BodyTooLarge {
+                limit: 128,
+                got: 200
+            })
+        );
+        // At the limit: fine.
+        let mut ok = b"POST / HTTP/1.1\r\nContent-Length: 128\r\n\r\n".to_vec();
+        ok.extend(std::iter::repeat_n(b'b', 128));
+        assert_eq!(parse_tight(&ok).unwrap().body.len(), 128);
+    }
+
+    #[test]
+    fn tags_are_stable_and_unique() {
+        let samples = [
+            ParseError::Empty,
+            ParseError::MalformedRequestLine(String::new()),
+            ParseError::BadVersion(String::new()),
+            ParseError::MalformedHeader(0),
+            ParseError::BadHeaderName(0),
+            ParseError::UnterminatedHeaders,
+            ParseError::BadContentLength(String::new()),
+            ParseError::TruncatedBody {
+                expected: 0,
+                got: 0,
+            },
+            ParseError::RequestLineTooLong { limit: 0 },
+            ParseError::TooManyHeaders { limit: 0 },
+            ParseError::HeaderTooLong { line: 0, limit: 0 },
+            ParseError::BodyTooLarge { limit: 0, got: 0 },
+        ];
+        let tags: std::collections::HashSet<&str> = samples.iter().map(|e| e.tag()).collect();
+        assert_eq!(tags.len(), samples.len(), "tags must be distinct");
+        assert_eq!(ParseError::TooManyHeaders { limit: 1 }.tag(), "header-bomb");
     }
 }

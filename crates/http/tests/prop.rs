@@ -1,11 +1,35 @@
-//! Property tests: parse/serialize round trips and codec inverses.
+//! Property tests: parse/serialize round trips, codec inverses, and
+//! mutation robustness of the parser under the fault crate's manglers.
 
-use leaksig_http::{parse_request, query, RequestBuilder};
+use leaksig_faults::{flip_bytes, truncate_bytes};
+use leaksig_http::{
+    parse_request, parse_request_limited, query, Destination, HttpPacket, Method, ParseLimits,
+    RequestBuilder, RequestLine,
+};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
 fn token() -> impl Strategy<Value = String> {
     "[a-zA-Z0-9_.*-]{1,20}"
+}
+
+/// Header names the round-trip can use freely: anything except `Host`
+/// and `Content-Length`, whose values the parser interprets (the packet
+/// model carries them with dedicated semantics).
+fn free_header_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9-]{0,12}".prop_map(|n| {
+        if n.eq_ignore_ascii_case("host") || n.eq_ignore_ascii_case("content-length") {
+            format!("x-{n}")
+        } else {
+            n
+        }
+    })
+}
+
+/// Printable header values with no surrounding whitespace (the parser
+/// normalises that away) and no line terminators.
+fn header_value() -> impl Strategy<Value = Vec<u8>> {
+    "[!-~]([ -~]{0,18}[!-~])?".prop_map(String::into_bytes)
 }
 
 proptest! {
@@ -62,10 +86,95 @@ proptest! {
         prop_assert_eq!(reparsed, pkt);
     }
 
+    /// Serialize → parse is the identity on directly-constructed packets
+    /// too, including repeated header names (transmission order and every
+    /// duplicate value must survive), the cookie, and a binary body.
+    #[test]
+    fn duplicate_headers_round_trip(
+        host in "[a-z0-9.-]{1,24}",
+        names in proptest::collection::vec(free_header_name(), 1..5),
+        values in proptest::collection::vec(header_value(), 8),
+        cookie in proptest::option::of("[a-zA-Z0-9=;_-]{1,24}"),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        dup_rounds in 1usize..3,
+        post in any::<bool>(),
+    ) {
+        let mut headers: Vec<(String, Vec<u8>)> = vec![("Host".to_string(), host.clone().into_bytes())];
+        // Each name appears `dup_rounds + 1` times with distinct values:
+        // the round trip must keep every copy, in order.
+        let mut vi = values.iter().cycle();
+        for round in 0..=dup_rounds {
+            for name in &names {
+                let mut v = vi.next().unwrap().clone();
+                v.extend_from_slice(round.to_string().as_bytes());
+                headers.push((name.clone(), v));
+            }
+        }
+        if let Some(c) = &cookie {
+            headers.push(("Cookie".to_string(), c.clone().into_bytes()));
+        }
+        let pkt = HttpPacket {
+            destination: Destination::new(Ipv4Addr::new(198, 51, 100, 20), 8080, host),
+            request_line: RequestLine {
+                method: if post { Method::Post } else { Method::Get },
+                target: "/t?x=1".to_string(),
+                version: "HTTP/1.1".to_string(),
+            },
+            headers,
+            body,
+        };
+        let reparsed = parse_request(&pkt.to_bytes(), pkt.destination.ip, pkt.destination.port).unwrap();
+        prop_assert_eq!(&reparsed, &pkt);
+        if let Some(c) = &cookie {
+            prop_assert_eq!(reparsed.cookie(), c.as_bytes());
+        }
+    }
+
     /// The parser never panics on arbitrary input.
     #[test]
     fn parser_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
         let _ = parse_request(&raw, Ipv4Addr::LOCALHOST, 80);
+    }
+
+    /// Mangling a well-formed wire image with the fault crate's mutators
+    /// (bit flips, truncation) never panics either parser entry point,
+    /// and whatever classification comes out is deterministic: the same
+    /// mangled bytes always produce the same `ParseError` variant (or the
+    /// same packet, when the damage landed somewhere harmless).
+    #[test]
+    fn mangled_wire_images_fail_closed(
+        qs in proptest::collection::vec((token(), token()), 0..4),
+        body in proptest::option::of(proptest::collection::vec(any::<u8>(), 1..64)),
+        seed in any::<u64>(),
+        flips in 1usize..12,
+        keep_permille in 0u16..1000,
+        truncate_first in any::<bool>(),
+    ) {
+        let mut b = RequestBuilder::post("/report");
+        for (k, v) in &qs {
+            b = b.query(k, v);
+        }
+        if let Some(body) = &body {
+            b = b.body(body.clone());
+        }
+        let pkt = b
+            .destination(Ipv4Addr::new(203, 0, 113, 40), 80, "intake.example")
+            .build();
+        let mut raw = pkt.to_bytes();
+        if truncate_first {
+            truncate_bytes(&mut raw, keep_permille);
+        }
+        flip_bytes(&mut raw, seed, flips);
+
+        let limits = ParseLimits::intake();
+        let a = parse_request_limited(&raw, Ipv4Addr::LOCALHOST, 80, &limits);
+        let b = parse_request_limited(&raw, Ipv4Addr::LOCALHOST, 80, &limits);
+        prop_assert_eq!(&a, &b, "classification must be deterministic");
+        let _ = parse_request(&raw, Ipv4Addr::LOCALHOST, 80); // unlimited: no panic either
+        if let Err(e) = a {
+            // Every reject carries a stable reason tag for the ledger.
+            prop_assert!(!e.tag().is_empty());
+        }
     }
 
     /// Structured garbage (line-shaped) also never panics and errors are

@@ -1,15 +1,15 @@
 #!/usr/bin/env bash
-# Detection + NCD benchmark runner.
+# Benchmark runner: detection + NCD (`detect`) and raw-intake (`ingest`).
 #
-# Default (quick mode): runs the `detect` bench binary at its full
-# configured scale with a reduced sample count, collects the criterion
-# shim's JSONL output, and writes the assembled baseline to
-# BENCH_detect.json at the repo root. Commit the result to update the
-# checked-in perf baseline.
+# Default (quick mode): runs each bench binary at its full configured
+# scale with a reduced sample count, collects the criterion shim's JSONL
+# output, and writes the assembled baselines to BENCH_detect.json and
+# BENCH_ingest.json at the repo root. Commit the results to update the
+# checked-in perf baselines.
 #
-# --smoke: tiny packet/signature counts and a throwaway output file —
+# --smoke: tiny packet/signature counts and throwaway output files —
 # proves the harness runs end to end (wired into scripts/check.sh)
-# without disturbing the committed baseline.
+# without disturbing the committed baselines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,39 +19,52 @@ if [[ "${1:-}" == "--smoke" ]]; then
 fi
 
 if [[ "$MODE" == "smoke" ]]; then
-    OUT="$(mktemp -d)/BENCH_detect.json"
-    JSONL="$(mktemp)"
+    OUTDIR="$(mktemp -d)"
     export LEAKSIG_BENCH_PACKETS=200
     export LEAKSIG_BENCH_SIGS=8
+    export LEAKSIG_BENCH_INGEST=200
     export CRITERION_SAMPLES=3
 else
-    OUT="BENCH_detect.json"
-    JSONL="$(mktemp)"
+    OUTDIR="."
     export CRITERION_SAMPLES="${CRITERION_SAMPLES:-10}"
 fi
 
-echo "==> cargo bench -p leaksig-bench --bench detect ($MODE)"
-CRITERION_JSON="$JSONL" cargo bench -p leaksig-bench --bench detect
+# run_bench <bench-name>: runs one bench binary and assembles its JSONL
+# lines into BENCH_<name>.json.
+run_bench() {
+    local name="$1"
+    local out="$OUTDIR/BENCH_${name}.json"
+    local jsonl
+    jsonl="$(mktemp)"
+    echo "==> cargo bench -p leaksig-bench --bench $name ($MODE)"
+    CRITERION_JSON="$jsonl" cargo bench -p leaksig-bench --bench "$name"
+    {
+        echo '{'
+        echo '  "schema": "leaksig-bench/1",'
+        echo '  "mode": "'"$MODE"'",'
+        echo '  "results": ['
+        sed 's/^/    /; $!s/$/,/' "$jsonl"
+        echo '  ]'
+        echo '}'
+    } > "$out"
+    rm -f "$jsonl"
+    echo "==> wrote $out"
+}
 
-# Assemble the JSONL lines into one stable document.
-{
-    echo '{'
-    echo '  "schema": "leaksig-bench/1",'
-    echo '  "mode": "'"$MODE"'",'
-    echo '  "results": ['
-    sed 's/^/    /; $!s/$/,/' "$JSONL"
-    echo '  ]'
-    echo '}'
-} > "$OUT"
-rm -f "$JSONL"
+run_bench detect
+run_bench ingest
 
-echo "==> wrote $OUT"
 if [[ "$MODE" == "smoke" ]]; then
-    # The harness must have produced at least the three detect rows.
-    ROWS=$(grep -c '"group":"detect"' "$OUT")
+    # The harness must have produced the expected rows in each baseline.
+    ROWS=$(grep -c '"group":"detect"' "$OUTDIR/BENCH_detect.json")
     if [[ "$ROWS" -lt 3 ]]; then
         echo "smoke: expected >=3 detect rows, got $ROWS" >&2
         exit 1
     fi
-    echo "smoke: ok ($ROWS detect rows)"
+    INGEST_ROWS=$(grep -c '"group":"ingest"' "$OUTDIR/BENCH_ingest.json")
+    if [[ "$INGEST_ROWS" -lt 2 ]]; then
+        echo "smoke: expected >=2 ingest rows, got $INGEST_ROWS" >&2
+        exit 1
+    fi
+    echo "smoke: ok ($ROWS detect rows, $INGEST_ROWS ingest rows)"
 fi

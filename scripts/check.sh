@@ -13,11 +13,15 @@ cargo clippy --workspace --all-targets --all-features -- -D warnings
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
-# Chaos soak across the CI fault-seed matrix: every seed drives a
-# deterministic fault-injected distribution run that must converge.
+# Chaos soaks across the CI fault-seed matrix: every seed drives a
+# deterministic fault-injected run — distribution faults must still
+# converge, ingestion faults must be quarantined without losing recall.
 CHAOS_SEEDS="${CHAOS_SEEDS:-1,2,3,4,5}"
 echo "==> chaos soak (seeds ${CHAOS_SEEDS})"
 CHAOS_SEEDS="$CHAOS_SEEDS" cargo test --quiet --test chaos
+
+echo "==> ingest chaos soak (seeds ${CHAOS_SEEDS})"
+CHAOS_SEEDS="$CHAOS_SEEDS" cargo test --quiet --test ingest_chaos
 
 echo "==> bench smoke"
 scripts/bench.sh --smoke
