@@ -60,6 +60,7 @@ fn run_variant<C: Compressor + Sync>(
         signatures: SignatureSet {
             signatures: detector.signatures().to_vec(),
         },
+        timings: StageTimings::default(),
     }
 }
 

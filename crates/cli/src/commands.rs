@@ -188,6 +188,9 @@ pub fn chaos(args: &Args) -> Result<i32, String> {
                 println!("\nround {round}: pipeline panicked ({message}); kept old set")
             }
         }
+        if let Some(t) = take_last_timings() {
+            println!("  {}", t.event_line());
+        }
         let report = client.sync(&store);
         for ev in &report.events {
             let detail = match &ev.kind {
@@ -384,6 +387,7 @@ pub fn generate(args: &Args) -> Result<(), String> {
         100.0 * outcome.rates.false_negative,
         100.0 * outcome.rates.false_positive
     );
+    println!("{}", outcome.timings.event_line());
     Ok(())
 }
 

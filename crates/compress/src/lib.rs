@@ -35,9 +35,9 @@ mod lzw;
 mod ncd;
 
 pub use huffman::{Huffman, Lzh};
-pub use lzss::Lzss;
+pub use lzss::{Lzss, LzssPrefix};
 pub use lzw::Lzw;
-pub use ncd::{ncd, ncd_with_lens, NcdComputer};
+pub use ncd::{ncd, ncd_from_lens, ncd_with_lens, NcdComputer};
 
 /// Error produced when decoding a corrupted compressed stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +84,52 @@ pub trait Compressor {
     /// may override with a cheaper size-only path.
     fn compressed_len(&self, data: &[u8]) -> usize {
         self.compress(data).len()
+    }
+
+    /// Begin a resumable "compress `x` once, then measure `C(x ⊕ y)` for
+    /// many `y`" computation — the access pattern of a row of the NCD
+    /// distance matrix, where one `x` is concatenated against every other
+    /// packet's field.
+    ///
+    /// Whatever the implementation, `concat_len(y)` must equal
+    /// [`Compressor::compressed_len`] of the concatenation *exactly* —
+    /// callers cache and compare these counts. The default re-compresses
+    /// the concatenation per call (reusing one buffer); [`Lzss`] overrides
+    /// it with a true encoder-state snapshot.
+    fn begin_prefix<'a>(&'a self, x: &'a [u8]) -> Box<dyn PrefixState + 'a>
+    where
+        Self: Sized,
+    {
+        Box::new(NaivePrefix {
+            compressor: self,
+            buf: x.to_vec(),
+            x_len: x.len(),
+        })
+    }
+}
+
+/// State captured by [`Compressor::begin_prefix`]: a fixed `x` awaiting
+/// `C(x ⊕ y)` queries.
+pub trait PrefixState {
+    /// `C(x ⊕ y)` — exactly [`Compressor::compressed_len`] of the
+    /// concatenation. `&mut self` only for internal scratch reuse; calls
+    /// are independent and repeatable.
+    fn concat_len(&mut self, y: &[u8]) -> usize;
+}
+
+/// [`Compressor::begin_prefix`]'s fallback: re-compress `x ⊕ y` from
+/// scratch per query, amortizing only the concatenation buffer.
+struct NaivePrefix<'a, C: Compressor> {
+    compressor: &'a C,
+    buf: Vec<u8>,
+    x_len: usize,
+}
+
+impl<C: Compressor> PrefixState for NaivePrefix<'_, C> {
+    fn concat_len(&mut self, y: &[u8]) -> usize {
+        self.buf.truncate(self.x_len);
+        self.buf.extend_from_slice(y);
+        self.compressor.compressed_len(&self.buf)
     }
 }
 

@@ -67,12 +67,34 @@ impl Lzss {
         head: &[i32],
         prev: &[i32],
     ) -> Option<(usize, usize)> {
+        self.find_match_capped(data, i, head, prev).0
+    }
+
+    /// [`Lzss::find_match`] that additionally reports whether the search
+    /// was *end-capped*: some candidate comparison ran into the end of
+    /// `data` before [`MAX_MATCH`], so appending more bytes could change
+    /// the outcome. A non-capped result is final under any extension of
+    /// `data` — every comparison stopped at a byte mismatch strictly
+    /// inside `data` (or at the extension-independent [`MAX_MATCH`] cap),
+    /// which is the invariant the resumable [`LzssPrefix`] snapshot rests
+    /// on.
+    fn find_match_capped(
+        &self,
+        data: &[u8],
+        i: usize,
+        head: &[i32],
+        prev: &[i32],
+    ) -> (Option<(usize, usize)>, bool) {
         if i + MIN_MATCH > data.len() {
-            return None;
+            // Too close to the end to match now, but an extension could
+            // make this position matchable: capped by definition.
+            return (None, true);
         }
         let mut best_len = MIN_MATCH - 1;
         let mut best_off = 0usize;
         let max_len = MAX_MATCH.min(data.len() - i);
+        let end_limited = data.len() - i < MAX_MATCH;
+        let mut capped = false;
         let mut cand = head[Self::hash(data, i)];
         let mut probes = self.max_chain;
         while cand >= 0 && probes > 0 {
@@ -86,6 +108,9 @@ impl Lzss {
                 while l < max_len && data[j + l] == data[i + l] {
                     l += 1;
                 }
+                if l == max_len && end_limited {
+                    capped = true;
+                }
                 if l > best_len {
                     best_len = l;
                     best_off = i - j;
@@ -97,7 +122,7 @@ impl Lzss {
             cand = prev[j & (WINDOW - 1)];
             probes -= 1;
         }
-        (best_len >= MIN_MATCH).then_some((best_off, best_len))
+        ((best_len >= MIN_MATCH).then_some((best_off, best_len)), capped)
     }
 }
 
@@ -250,6 +275,193 @@ impl Lzss {
     }
 }
 
+/// One hash-chain insertion recorded for undo, so a single prefix
+/// snapshot can serve many `concat_len` calls without cloning the
+/// ~144 KB `head`/`prev` tables per call.
+struct InsertUndo {
+    hash_slot: u32,
+    old_head: i32,
+    prev_slot: u16,
+    old_prev: i32,
+}
+
+/// Resumable count-only encoder state: `x` compressed once, then
+/// `C(x ⊕ y)` for any number of `y` continuations without re-encoding
+/// the prefix.
+///
+/// The snapshot stops at the first position whose token is *not* final
+/// under extension (see [`Lzss::find_match_capped`]): a token emitted for
+/// `x` alone survives into the encoding of `x ⊕ y` exactly when its match
+/// search never ran into the end of `x`. Everything before that point —
+/// token count, control-byte phase, and hash-chain insertions — is frozen;
+/// [`LzssPrefix::concat_len`] re-encodes only the unsafe tail of `x` plus
+/// `y`, journaling its hash-chain insertions and undoing them afterwards,
+/// so the result is byte-for-byte equal to
+/// [`Compressor::compressed_len`]`(x ⊕ y)` (proven by proptest).
+pub struct LzssPrefix {
+    cfg: Lzss,
+    /// `x` followed by the current `y` (truncated back to `x` between calls).
+    buf: Vec<u8>,
+    x_len: usize,
+    head: Vec<i32>,
+    prev: Vec<i32>,
+    /// First position not covered by a frozen token.
+    resume_at: usize,
+    /// Byte count of the frozen tokens.
+    count: usize,
+    /// Control-byte phase after the frozen tokens.
+    ctrl_used: u8,
+    journal: Vec<InsertUndo>,
+}
+
+impl std::fmt::Debug for LzssPrefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LzssPrefix")
+            .field("x_len", &self.x_len)
+            .field("resume_at", &self.resume_at)
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
+impl Lzss {
+    /// Snapshot the count-only encoder after compressing `x`, for
+    /// repeated [`LzssPrefix::concat_len`] queries.
+    pub fn prefix(&self, x: &[u8]) -> LzssPrefix {
+        let mut head = vec![-1i32; HASH_SIZE];
+        let mut prev = vec![-1i32; WINDOW];
+        let mut counter = TokenCounter::default();
+        let mut i = 0usize;
+        // Freeze tokens while they are final under extension. The loop
+        // bound also stops before the trailing `MIN_MATCH − 1` bytes,
+        // whose literal-vs-match decision depends on what follows `x`.
+        // (For `x.len() < MIN_MATCH` nothing freezes and `concat_len`
+        // re-encodes from position 0 — including `encode`'s all-literal
+        // special case for tiny totals.)
+        while i + MIN_MATCH <= x.len() {
+            let (m, capped) = self.find_match_capped(x, i, &head, &prev);
+            if capped {
+                break;
+            }
+            match m {
+                Some((off, len)) => {
+                    counter.back_ref(off, len);
+                    // Mirror `encode`: index covered positions whose full
+                    // 3-byte hash window lies inside `x`. Positions whose
+                    // window crosses into `y` are caught up per call.
+                    let stop = (i + len).min(x.len() - (MIN_MATCH - 1));
+                    for p in i..stop {
+                        let h = Self::hash(x, p);
+                        prev[p & (WINDOW - 1)] = head[h];
+                        head[h] = p as i32;
+                    }
+                    i += len;
+                }
+                None => {
+                    counter.literal(x[i]);
+                    let h = Self::hash(x, i);
+                    prev[i & (WINDOW - 1)] = head[h];
+                    head[h] = i as i32;
+                    i += 1;
+                }
+            }
+        }
+        LzssPrefix {
+            cfg: self.clone(),
+            buf: x.to_vec(),
+            x_len: x.len(),
+            head,
+            prev,
+            resume_at: i,
+            count: counter.len,
+            ctrl_used: counter.ctrl_used,
+            journal: Vec::new(),
+        }
+    }
+}
+
+impl LzssPrefix {
+    fn insert_journaled(&mut self, pos: usize) {
+        let h = Lzss::hash(&self.buf, pos);
+        let slot = pos & (WINDOW - 1);
+        self.journal.push(InsertUndo {
+            hash_slot: h as u32,
+            old_head: self.head[h],
+            prev_slot: slot as u16,
+            old_prev: self.prev[slot],
+        });
+        self.prev[slot] = self.head[h];
+        self.head[h] = pos as i32;
+    }
+
+    /// `C(x ⊕ y)`: byte-for-byte what [`Compressor::compressed_len`]
+    /// returns for the concatenation, re-encoding only from the snapshot's
+    /// resume point.
+    pub fn concat_len(&mut self, y: &[u8]) -> usize {
+        self.buf.truncate(self.x_len);
+        self.buf.extend_from_slice(y);
+        let total = self.buf.len();
+        if total < MIN_MATCH {
+            // `encode`'s all-literal special case: one control byte plus
+            // the raw bytes (x.len() < MIN_MATCH here, so nothing froze).
+            return if total == 0 { 0 } else { total + 1 };
+        }
+        debug_assert!(self.journal.is_empty());
+
+        // Catch-up insertions: positions before the resume point that a
+        // from-scratch encode of x ⊕ y would have indexed but the snapshot
+        // could not (their 3-byte hash window crosses into y). They come
+        // after every snapshot insertion in position order, so appending
+        // them preserves the from-scratch hash-chain ordering.
+        let lo = self.x_len.saturating_sub(MIN_MATCH - 1);
+        let hi = self.resume_at.min(total - (MIN_MATCH - 1));
+        for p in lo..hi {
+            self.insert_journaled(p);
+        }
+
+        // Resume the count-only encode loop — a journaled mirror of
+        // `Lzss::encode` — from the first unfrozen position.
+        let mut counter = TokenCounter {
+            len: self.count,
+            ctrl_used: self.ctrl_used,
+        };
+        let mut i = self.resume_at;
+        while i < total {
+            match self.cfg.find_match(&self.buf, i, &self.head, &self.prev) {
+                Some((off, len)) => {
+                    counter.back_ref(off, len);
+                    let stop = (i + len).min(total - (MIN_MATCH - 1));
+                    for p in i..stop {
+                        self.insert_journaled(p);
+                    }
+                    i += len;
+                }
+                None => {
+                    counter.literal(self.buf[i]);
+                    if i + MIN_MATCH <= total {
+                        self.insert_journaled(i);
+                    }
+                    i += 1;
+                }
+            }
+        }
+
+        // Roll the hash chains back to the snapshot (reverse order undoes
+        // repeated writes to the same slot correctly).
+        while let Some(u) = self.journal.pop() {
+            self.head[u.hash_slot as usize] = u.old_head;
+            self.prev[u.prev_slot as usize] = u.old_prev;
+        }
+        counter.len
+    }
+}
+
+impl crate::PrefixState for LzssPrefix {
+    fn concat_len(&mut self, y: &[u8]) -> usize {
+        LzssPrefix::concat_len(self, y)
+    }
+}
+
 impl Compressor for Lzss {
     fn compress(&self, data: &[u8]) -> Vec<u8> {
         let mut w = TokenWriter::new(data.len() / 2 + 16);
@@ -263,6 +475,12 @@ impl Compressor for Lzss {
         let mut c = TokenCounter::default();
         self.encode(data, &mut c);
         c.len
+    }
+
+    /// Resumable prefix: snapshot the encoder state after `x` instead of
+    /// re-compressing the concatenation per query.
+    fn begin_prefix<'a>(&'a self, x: &'a [u8]) -> Box<dyn crate::PrefixState + 'a> {
+        Box::new(self.prefix(x))
     }
 
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecodeError> {
@@ -426,6 +644,43 @@ mod tests {
                 .unwrap(),
             data
         );
+    }
+
+    #[test]
+    fn prefix_matches_from_scratch_on_edges() {
+        let c = Lzss::default();
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"", b""),
+            (b"", b"hello hello hello"),
+            (b"ab", b""),
+            (b"ab", b"c"),
+            (b"abc", b"abcabcabc"),
+            (b"GET /ad?udid=abcdef&slot=1", b"GET /ad?udid=abcdef&slot=2"),
+            (b"aaaaaaaaaaaaaaaa", b"aaaaaaaaaaaaaaaa"),
+            (b"xyzxyzxyzxyz", b""),
+        ];
+        for (x, y) in cases {
+            let mut xy = x.to_vec();
+            xy.extend_from_slice(y);
+            assert_eq!(
+                c.prefix(x).concat_len(y),
+                c.compressed_len(&xy),
+                "x={x:?} y={y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_is_reusable_across_many_continuations() {
+        let c = Lzss::default();
+        let x = b"GET /getad?androidid=f3a9c1d200b14e77&carrier=NTTDOCOMO HTTP/1.1";
+        let mut p = c.prefix(x);
+        for i in 0..50 {
+            let y = format!("GET /getad?androidid=f3a9c1d200b14e77&slot={i} HTTP/1.1");
+            let mut xy = x.to_vec();
+            xy.extend_from_slice(y.as_bytes());
+            assert_eq!(p.concat_len(y.as_bytes()), c.compressed_len(&xy), "i={i}");
+        }
     }
 
     #[test]

@@ -43,6 +43,17 @@ pub fn ncd_with_lens<C: Compressor>(c: &C, x: &[u8], cx: usize, y: &[u8], cy: us
     finish(cx, cy, c.compressed_len(&xy))
 }
 
+/// The NCD formula over already-measured compressed lengths: callers that
+/// obtain `C(xy)` through a resumable [`crate::PrefixState`] finish the
+/// distance here, with arithmetic identical to [`ncd_with_lens`].
+///
+/// Does **not** apply the two-empty-strings convention (`ncd` returns 0.0
+/// there before measuring anything); callers replacing [`ncd_with_lens`]
+/// must keep that check themselves.
+pub fn ncd_from_lens(cx: usize, cy: usize, cxy: usize) -> f64 {
+    finish(cx, cy, cxy)
+}
+
 fn finish(cx: usize, cy: usize, cxy: usize) -> f64 {
     let min = cx.min(cy);
     let max = cx.max(cy);

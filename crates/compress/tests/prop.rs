@@ -1,6 +1,6 @@
 //! Property tests for compressors and NCD.
 
-use leaksig_compress::{ncd, Compressor, Huffman, Lzh, Lzss, Lzw};
+use leaksig_compress::{ncd, ncd_from_lens, ncd_with_lens, Compressor, Huffman, Lzh, Lzss, Lzw};
 use proptest::prelude::*;
 
 /// Byte strings biased toward the repetitive, ASCII-ish content HTTP
@@ -133,5 +133,80 @@ proptest! {
         let cxy = c.compressed_len(&xy);
         let bound = c.compressed_len(&x) + c.compressed_len(&y) + 2;
         prop_assert!(cxy <= bound, "C(xy)={} > C(x)+C(y)+2={}", cxy, bound);
+    }
+
+    /// Resumable-prefix exactness: the snapshot-and-continue count equals
+    /// the from-scratch `C(x ⊕ y)` byte-for-byte, and one prefix serves
+    /// many `y` in any order without drifting (the journal undo restores
+    /// the snapshot exactly). This is the invariant the whole row-major
+    /// NCD matrix build rests on.
+    #[test]
+    fn lzss_prefix_concat_len_is_exact(
+        x in payload(),
+        ys in proptest::collection::vec(payload(), 1..6),
+    ) {
+        let c = Lzss::default();
+        let mut prefix = c.prefix(&x);
+        let mut expected = Vec::with_capacity(ys.len());
+        for y in &ys {
+            let mut xy = x.clone();
+            xy.extend_from_slice(y);
+            expected.push(c.compressed_len(&xy));
+        }
+        for (y, &want) in ys.iter().zip(&expected) {
+            prop_assert_eq!(prefix.concat_len(y), want);
+        }
+        // Second sweep in reverse order against the same snapshot: state
+        // reuse must be order-independent and repeatable.
+        for (y, &want) in ys.iter().zip(&expected).rev() {
+            prop_assert_eq!(prefix.concat_len(y), want);
+        }
+    }
+
+    /// Exactness must hold for every chain-search depth, not just the
+    /// default — shallow chains change which matches are found, not the
+    /// snapshot-safety reasoning.
+    #[test]
+    fn lzss_prefix_exact_any_chain(x in payload(), y in payload(), chain in 1usize..64) {
+        let c = Lzss::with_max_chain(chain);
+        let mut xy = x.clone();
+        xy.extend_from_slice(&y);
+        prop_assert_eq!(c.prefix(&x).concat_len(&y), c.compressed_len(&xy));
+    }
+
+    /// The trait-object path (`begin_prefix`) is the same computation,
+    /// and `ncd_from_lens` over it reproduces `ncd_with_lens` exactly.
+    #[test]
+    fn prefix_ncd_equals_ncd_with_lens(x in payload(), y in payload()) {
+        let c = Lzss::default();
+        let (cx, cy) = (c.compressed_len(&x), c.compressed_len(&y));
+        let direct = ncd_with_lens(&c, &x, cx, &y, cy);
+        let mut p = c.begin_prefix(&x);
+        let resumed = if x.is_empty() && y.is_empty() {
+            0.0
+        } else {
+            ncd_from_lens(cx, cy, p.concat_len(&y))
+        };
+        prop_assert_eq!(resumed, direct);
+    }
+
+    /// Adversarial boundary case for the snapshot-safety condition: `y`
+    /// begins with a continuation of `x`'s tail, so matches near the end
+    /// of `x` want to extend across the boundary. Also covers empty /
+    /// sub-MIN_MATCH prefixes and suffixes.
+    #[test]
+    fn lzss_prefix_exact_on_boundary_overlap(
+        stem in "[ab]{0,64}",
+        tail_take in 0usize..64,
+        extra in "[ab]{0,16}",
+    ) {
+        let c = Lzss::default();
+        let x = stem.as_bytes().to_vec();
+        let take = tail_take.min(x.len());
+        let mut y = x[x.len() - take..].to_vec();
+        y.extend_from_slice(extra.as_bytes());
+        let mut xy = x.clone();
+        xy.extend_from_slice(&y);
+        prop_assert_eq!(c.prefix(&x).concat_len(&y), c.compressed_len(&xy));
     }
 }

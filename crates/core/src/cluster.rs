@@ -9,9 +9,21 @@
 //! d(k, i∪j) = (|i|·d(k,i) + |j|·d(k,j)) / (|i| + |j|)
 //! ```
 //!
-//! which avoids ever revisiting the raw point distances, plus a cached
-//! nearest-neighbour array so a merge step is O(n) amortised instead of a
-//! full O(n²) rescan (O(n²) worst case when merges invalidate neighbours).
+//! which avoids ever revisiting the raw point distances.
+//!
+//! [`agglomerate`] runs the **nearest-neighbour-chain** algorithm:
+//! follow nearest-neighbour links until they cycle (a mutual pair), merge
+//! that pair, continue from the surviving chain. Every linkage here is
+//! *reducible* — `d(k, i∪j) ≥ min(d(k,i), d(k,j))` — so merging a mutual
+//! pair never invalidates the rest of the chain, which bounds total work
+//! at O(n²) (each of the ≤ 2(n−1) chain extensions is one O(n) scan)
+//! against the O(n³) worst case of a rescan-on-invalidation NN cache.
+//! NN-chain discovers the merges of the greedy closest-pair algorithm in
+//! chain order, not distance order, so the merge list is then replayed
+//! into greedy order (see `replay_greedy_order`), making the result
+//! merge-for-merge identical to [`agglomerate_legacy_with`] on tie-free
+//! matrices. Both paths work directly on condensed O(n²/2) storage — no
+//! full `n × n` inflation (32 MB at n = 2000).
 
 use crate::matrix::CondensedMatrix;
 
@@ -155,15 +167,209 @@ impl Dendrogram {
 }
 
 /// Run group-average agglomerative clustering over a precomputed distance
-/// matrix (the paper's §IV-D configuration). `O(n²)` memory,
-/// `O(n²)`–`O(n³)` time (fine for the paper's sample sizes; `N = 500`
-/// clusters in well under a second).
+/// matrix (the paper's §IV-D configuration) with the nearest-neighbour-
+/// chain algorithm: guaranteed `O(n²)` time on condensed `O(n²/2)`
+/// storage.
 pub fn agglomerate(matrix: &CondensedMatrix) -> Dendrogram {
     agglomerate_with(matrix, Linkage::GroupAverage)
 }
 
-/// [`agglomerate`] under an explicit linkage criterion.
+/// Lance–Williams cluster-distance update, shared by both agglomeration
+/// paths so their arithmetic cannot drift.
+#[inline]
+fn lance_williams(linkage: Linkage, si: f64, sj: f64, dik: f64, djk: f64) -> f64 {
+    match linkage {
+        Linkage::GroupAverage => (si * dik + sj * djk) / (si + sj),
+        Linkage::Single => dik.min(djk),
+        Linkage::Complete => dik.max(djk),
+    }
+}
+
+/// `f64` ordered by `total_cmp`, for the replay heap.
+#[derive(PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Reorder NN-chain merges (creation order, child ids referring to that
+/// order) into the greedy closest-pair execution order.
+///
+/// A merge is *ready* once both children exist as active clusters — i.e.
+/// leaves, or already-replayed internal nodes. Among ready merges, the one
+/// with minimal distance is exactly the merge the greedy algorithm
+/// performs next: every ready merge's distance is a distance between two
+/// currently-active clusters, and the globally closest active pair is
+/// itself a tree merge (the closest pair are mutual nearest neighbours,
+/// which the NN-chain merged), so the minimum over ready merges *is* the
+/// global minimum. Replaying through a min-heap keyed by
+/// `(distance, creation index)` therefore reproduces the greedy order —
+/// uniquely so on tie-free matrices; the index tiebreak keeps it
+/// deterministic otherwise. Group-average inversions (a parent closer
+/// than its child) are handled naturally: the parent is not ready until
+/// the child has been replayed.
+fn replay_greedy_order(n: usize, raw: Vec<Merge>) -> Vec<Merge> {
+    let m = raw.len();
+    // For each raw merge: how many children are unreplayed internal
+    // nodes, and which raw merge is its parent.
+    let mut pending: Vec<u8> = Vec::with_capacity(m);
+    let mut parent: Vec<usize> = vec![usize::MAX; m];
+    for (t, mg) in raw.iter().enumerate() {
+        pending.push((mg.a >= n) as u8 + (mg.b >= n) as u8);
+        if mg.a >= n {
+            parent[mg.a - n] = t;
+        }
+        if mg.b >= n {
+            parent[mg.b - n] = t;
+        }
+    }
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(OrdF64, usize)>> =
+        std::collections::BinaryHeap::with_capacity(m);
+    for (t, p) in pending.iter().enumerate() {
+        if *p == 0 {
+            heap.push(std::cmp::Reverse((OrdF64(raw[t].distance), t)));
+        }
+    }
+    let mut order: Vec<usize> = Vec::with_capacity(m);
+    while let Some(std::cmp::Reverse((_, t))) = heap.pop() {
+        order.push(t);
+        let par = parent[t];
+        if par != usize::MAX {
+            pending[par] -= 1;
+            if pending[par] == 0 {
+                heap.push(std::cmp::Reverse((OrdF64(raw[par].distance), par)));
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), m);
+    // Renumber internal node ids from creation order to replay order.
+    let mut new_pos = vec![0usize; m];
+    for (pos, &t) in order.iter().enumerate() {
+        new_pos[t] = pos;
+    }
+    let remap = |id: usize| if id < n { id } else { n + new_pos[id - n] };
+    order
+        .iter()
+        .map(|&t| {
+            let mg = raw[t];
+            Merge {
+                a: remap(mg.a),
+                b: remap(mg.b),
+                distance: mg.distance,
+                size: mg.size,
+            }
+        })
+        .collect()
+}
+
+/// [`agglomerate`] under an explicit linkage criterion (NN-chain).
 pub fn agglomerate_with(matrix: &CondensedMatrix, linkage: Linkage) -> Dendrogram {
+    let n = matrix.len();
+    if n < 2 {
+        return Dendrogram {
+            n,
+            merges: Vec::new(),
+        };
+    }
+
+    // Working cluster distances, updated in place on condensed storage.
+    let mut w = matrix.clone();
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<usize> = vec![1; n];
+    // Dendrogram node id (creation order) of working slot `i`.
+    let mut node: Vec<usize> = (0..n).collect();
+
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    let mut raw: Vec<Merge> = Vec::with_capacity(n - 1);
+    // Smallest slot a fresh chain may start from (only ever advances).
+    let mut start = 0usize;
+
+    while raw.len() < n - 1 {
+        if chain.is_empty() {
+            while !active[start] {
+                start += 1;
+            }
+            chain.push(start);
+        }
+        // Extend the chain by nearest neighbours until it folds back.
+        loop {
+            let a = *chain.last().unwrap();
+            let prev = if chain.len() >= 2 {
+                chain[chain.len() - 2]
+            } else {
+                usize::MAX
+            };
+            let mut best = f64::INFINITY;
+            let mut best_j = usize::MAX;
+            for (j, &alive) in active.iter().enumerate() {
+                if j != a && alive {
+                    let d = w.get(a, j);
+                    if d < best {
+                        best = d;
+                        best_j = j;
+                    }
+                }
+            }
+            // Tie preference for the chain predecessor: guarantees the
+            // chain's link distances strictly decrease, hence termination
+            // even on all-tied matrices.
+            if prev != usize::MAX && w.get(a, prev) <= best {
+                best_j = prev;
+            }
+            if best_j != prev {
+                chain.push(best_j);
+                continue;
+            }
+
+            // `a` and `prev` are mutual nearest neighbours: merge them.
+            chain.pop();
+            chain.pop();
+            let (i, j) = if a < prev { (a, prev) } else { (prev, a) };
+            raw.push(Merge {
+                a: node[i],
+                b: node[j],
+                distance: w.get(i, j),
+                size: size[i] + size[j],
+            });
+            let (si, sj) = (size[i] as f64, size[j] as f64);
+            for (k, &alive) in active.iter().enumerate() {
+                if k != i && k != j && alive {
+                    let v = lance_williams(linkage, si, sj, w.get(i, k), w.get(j, k));
+                    w.set(i, k, v);
+                }
+            }
+            size[i] += size[j];
+            active[j] = false;
+            node[i] = n + raw.len() - 1;
+            // Reducibility keeps the surviving chain's NN links valid, so
+            // the next iteration continues from the current chain top.
+            break;
+        }
+    }
+
+    Dendrogram {
+        n,
+        merges: replay_greedy_order(n, raw),
+    }
+}
+
+/// The pre-NN-chain agglomeration: greedy closest-pair selection with a
+/// cached nearest-neighbour array, `O(n²)` amortised but `O(n³)` worst
+/// case when merges keep invalidating cache entries. Retained as the test
+/// oracle the NN-chain path is checked against (identical merges on
+/// tie-free matrices); works on condensed storage like the main path.
+pub fn agglomerate_legacy_with(matrix: &CondensedMatrix, linkage: Linkage) -> Dendrogram {
     let n = matrix.len();
     if n == 0 {
         return Dendrogram {
@@ -172,25 +378,18 @@ pub fn agglomerate_with(matrix: &CondensedMatrix, linkage: Linkage) -> Dendrogra
         };
     }
 
-    // Working distance matrix between active clusters, full storage for
-    // cache-friendly row scans.
-    let mut d = vec![0.0f64; n * n];
-    for i in 0..n {
-        for j in 0..n {
-            d[i * n + j] = matrix.get(i, j);
-        }
-    }
+    let mut w = matrix.clone();
     let mut active: Vec<bool> = vec![true; n];
     let mut size: Vec<usize> = vec![1; n];
     // Current dendrogram node id of working slot `i`.
     let mut node: Vec<usize> = (0..n).collect();
     // Cached nearest neighbour (slot, distance) per active slot.
     let mut nn: Vec<(usize, f64)> = vec![(usize::MAX, f64::INFINITY); n];
-    let find_nn = |d: &[f64], active: &[bool], i: usize| -> (usize, f64) {
+    let find_nn = |w: &CondensedMatrix, active: &[bool], i: usize| -> (usize, f64) {
         let mut best = (usize::MAX, f64::INFINITY);
-        for j in 0..n {
-            if j != i && active[j] {
-                let dist = d[i * n + j];
+        for (j, &alive) in active.iter().enumerate() {
+            if j != i && alive {
+                let dist = w.get(i, j);
                 if dist < best.1 {
                     best = (j, dist);
                 }
@@ -199,7 +398,7 @@ pub fn agglomerate_with(matrix: &CondensedMatrix, linkage: Linkage) -> Dendrogra
         best
     };
     for (i, slot) in nn.iter_mut().enumerate() {
-        *slot = find_nn(&d, &active, i);
+        *slot = find_nn(&w, &active, i);
     }
 
     let mut merges = Vec::with_capacity(n.saturating_sub(1));
@@ -220,36 +419,30 @@ pub fn agglomerate_with(matrix: &CondensedMatrix, linkage: Linkage) -> Dendrogra
         merges.push(Merge {
             a: node[i],
             b: node[j],
-            distance: d[i * n + j],
+            distance: w.get(i, j),
             size: size[i] + size[j],
         });
         node[i] = n + step;
 
         // Lance–Williams update into row/column i.
         let (si, sj) = (size[i] as f64, size[j] as f64);
-        for k in 0..n {
-            if k != i && k != j && active[k] {
-                let (dik, djk) = (d[i * n + k], d[j * n + k]);
-                let v = match linkage {
-                    Linkage::GroupAverage => (si * dik + sj * djk) / (si + sj),
-                    Linkage::Single => dik.min(djk),
-                    Linkage::Complete => dik.max(djk),
-                };
-                d[i * n + k] = v;
-                d[k * n + i] = v;
+        for (k, &alive) in active.iter().enumerate() {
+            if k != i && k != j && alive {
+                let v = lance_williams(linkage, si, sj, w.get(i, k), w.get(j, k));
+                w.set(i, k, v);
             }
         }
         size[i] += size[j];
         active[j] = false;
 
         // Refresh invalidated nearest-neighbour entries.
-        nn[i] = find_nn(&d, &active, i);
+        nn[i] = find_nn(&w, &active, i);
         for k in 0..n {
             if active[k] && k != i && (nn[k].0 == i || nn[k].0 == j) {
-                nn[k] = find_nn(&d, &active, k);
+                nn[k] = find_nn(&w, &active, k);
             } else if active[k] && k != i {
                 // Row k only got one new candidate: the merged cluster.
-                let v = d[k * n + i];
+                let v = w.get(k, i);
                 if v < nn[k].1 {
                     nn[k] = (i, v);
                 }
@@ -413,5 +606,79 @@ mod tests {
         let a = agglomerate(&m);
         let b = agglomerate(&m);
         assert_eq!(a.merges(), b.merges());
+    }
+
+    /// NN-chain vs the legacy greedy oracle on tie-free matrices: the
+    /// replayed merge list must match structurally merge-for-merge
+    /// (distances approximately — group-average Lance–Williams values are
+    /// built under different merge interleavings, so they may differ in
+    /// the last ulps).
+    fn assert_parity(m: &CondensedMatrix, linkage: Linkage) {
+        let fast = agglomerate_with(m, linkage);
+        let legacy = agglomerate_legacy_with(m, linkage);
+        assert_eq!(fast.leaves(), legacy.leaves());
+        assert_eq!(fast.merges().len(), legacy.merges().len());
+        for (f, l) in fast.merges().iter().zip(legacy.merges()) {
+            assert_eq!((f.a, f.b, f.size), (l.a, l.b, l.size), "{linkage:?}");
+            assert!(
+                (f.distance - l.distance).abs() <= 1e-9 * f.distance.abs().max(1.0),
+                "{linkage:?}: {} vs {}",
+                f.distance,
+                l.distance
+            );
+        }
+        for k in 1..=m.len() {
+            assert_eq!(fast.cut_into(k), legacy.cut_into(k), "{linkage:?} k={k}");
+        }
+    }
+
+    #[test]
+    fn nn_chain_matches_legacy_on_blobs_and_lines() {
+        let pts_sets: &[&[f64]] = &[
+            &[0.0, 0.1, 0.2, 10.0, 10.1],
+            &[0.0, 1.0, 2.0, 3.0, 10.0],
+            &[5.0, 1.0, 9.0, 2.5, 7.25, 0.125, 3.875],
+            &[42.0],
+            &[1.0, 2.0],
+        ];
+        for pts in pts_sets {
+            let mut m = CondensedMatrix::zeros(pts.len());
+            for i in 0..pts.len() {
+                for j in i + 1..pts.len() {
+                    m.set(i, j, (pts[i] - pts[j]).abs());
+                }
+            }
+            for linkage in [Linkage::GroupAverage, Linkage::Single, Linkage::Complete] {
+                assert_parity(&m, linkage);
+            }
+        }
+    }
+
+    /// On an all-tied matrix the two paths may order merges differently,
+    /// but must produce the same merge multiset.
+    #[test]
+    fn nn_chain_matches_legacy_merge_multiset_under_ties() {
+        let mut m = CondensedMatrix::zeros(6);
+        for i in 0..6 {
+            for j in i + 1..6 {
+                m.set(i, j, 1.0);
+            }
+        }
+        for linkage in [Linkage::GroupAverage, Linkage::Single, Linkage::Complete] {
+            let key = |d: &Dendrogram| {
+                let mut v: Vec<(u64, usize)> = d
+                    .merges()
+                    .iter()
+                    .map(|mg| (mg.distance.to_bits(), mg.size))
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(
+                key(&agglomerate_with(&m, linkage)),
+                key(&agglomerate_legacy_with(&m, linkage)),
+                "{linkage:?}"
+            );
+        }
     }
 }

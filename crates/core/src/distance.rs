@@ -226,6 +226,16 @@ impl<C: Compressor> PacketDistance<C> {
     /// IP component is ownership-verified (§VI); otherwise the prefix
     /// heuristic applies.
     pub fn destination(&self, x: &PacketFeatures, y: &PacketFeatures) -> f64 {
+        self.destination_sans_host(x, y) + d_host(&x.host, &y.host)
+    }
+
+    /// The IP and port terms of `d_dst` — the host edit-distance term is
+    /// added by the caller ([`destination`], or [`RowDistance::packet`]
+    /// through its per-row host cache). Split out so both paths share one
+    /// definition and, summing in the same order, stay bit-identical.
+    ///
+    /// [`destination`]: PacketDistance::destination
+    fn destination_sans_host(&self, x: &PacketFeatures, y: &PacketFeatures) -> f64 {
         let conv = self.config.convention;
         let ip_term = match (x.org, y.org) {
             (Some(a), Some(b)) => {
@@ -238,7 +248,7 @@ impl<C: Compressor> PacketDistance<C> {
             }
             _ => d_ip(x.ip, y.ip, conv),
         };
-        ip_term + d_port(x.port, y.port, conv) + d_host(&x.host, &y.host)
+        ip_term + d_port(x.port, y.port, conv)
     }
 
     /// `d_header` of §IV-C: summed NCD over the three content fields.
@@ -255,6 +265,93 @@ impl<C: Compressor> PacketDistance<C> {
     pub fn packet(&self, x: &PacketFeatures, y: &PacketFeatures) -> f64 {
         self.config.destination_weight * self.destination(x, y)
             + self.config.content_weight * self.content(x, y)
+    }
+
+    /// Row-major distance computer: captures `x`'s three content fields as
+    /// resumable compressor prefixes ([`Compressor::begin_prefix`]) so each
+    /// subsequent [`RowDistance::packet`] call only compresses the `y`-side
+    /// continuation instead of the full concatenation. Equal to
+    /// [`PacketDistance::packet`] bit-for-bit (the prefix contract demands
+    /// exact concatenation counts); the matrix builder computes each row
+    /// of the O(n²) matrix through one of these.
+    pub fn row<'a>(&'a self, x: &'a PacketFeatures) -> RowDistance<'a, C> {
+        let c = &self.compressor;
+        RowDistance {
+            dist: self,
+            x,
+            rline: c.begin_prefix(&x.rline),
+            cookie: c.begin_prefix(&x.cookie),
+            body: c.begin_prefix(&x.body),
+            host_d: std::collections::HashMap::new(),
+        }
+    }
+}
+
+/// One row of the pairwise distance computation: see
+/// [`PacketDistance::row`].
+pub struct RowDistance<'a, C: Compressor> {
+    dist: &'a PacketDistance<C>,
+    x: &'a PacketFeatures,
+    rline: Box<dyn leaksig_compress::PrefixState + 'a>,
+    cookie: Box<dyn leaksig_compress::PrefixState + 'a>,
+    body: Box<dyn leaksig_compress::PrefixState + 'a>,
+    /// `d_host(x.host, ·)` per distinct column host. Market traffic
+    /// concentrates on a small destination set, so the O(|a|·|b|) edit
+    /// distance would otherwise be the largest non-NCD cost in every one
+    /// of the row's n−1 cells. `d_host` is a pure function of the two
+    /// strings, so caching cannot change a single bit of the result.
+    host_d: std::collections::HashMap<String, f64>,
+}
+
+impl<C: Compressor> RowDistance<'_, C> {
+    /// `d_header` against the captured row packet — the same three-field
+    /// NCD sum as [`PacketDistance::content`], with `C(x ⊕ y)` measured by
+    /// resuming the row's encoder snapshots. Term order and arithmetic
+    /// mirror `content` exactly so the results are bit-identical.
+    pub fn content(&mut self, y: &PacketFeatures) -> f64 {
+        let x = self.x;
+        let term = |p: &mut Box<dyn leaksig_compress::PrefixState + '_>,
+                        xb: &[u8],
+                        cx: usize,
+                        yb: &[u8],
+                        cy: usize| {
+            // Mirrors `ncd_with_lens`'s two-empty-strings convention.
+            if xb.is_empty() && yb.is_empty() {
+                return 0.0;
+            }
+            // One-sided-empty shortcut: the concatenation *is* the other
+            // string, whose count is already cached — `concat_len` would
+            // return exactly `cy` (resp. `cx`), so skipping it cannot
+            // change a bit. Cookie and body are empty for most GET
+            // traffic, which makes this the common case.
+            let cxy = if xb.is_empty() {
+                cy
+            } else if yb.is_empty() {
+                cx
+            } else {
+                p.concat_len(yb)
+            };
+            leaksig_compress::ncd_from_lens(cx, cy, cxy)
+        };
+        term(&mut self.rline, &x.rline, x.c_rline, &y.rline, y.c_rline)
+            + term(&mut self.cookie, &x.cookie, x.c_cookie, &y.cookie, y.c_cookie)
+            + term(&mut self.body, &x.body, x.c_body, &y.body, y.c_body)
+    }
+
+    /// `d_pkt(x, y)` — bit-identical to [`PacketDistance::packet`].
+    pub fn packet(&mut self, y: &PacketFeatures) -> f64 {
+        let content = self.content(y);
+        let host = match self.host_d.get(&y.host) {
+            Some(&v) => v,
+            None => {
+                let v = d_host(&self.x.host, &y.host);
+                self.host_d.insert(y.host.clone(), v);
+                v
+            }
+        };
+        let destination = self.dist.destination_sans_host(self.x, y) + host;
+        self.dist.config.destination_weight * destination
+            + self.dist.config.content_weight * content
     }
 }
 
@@ -438,6 +535,37 @@ mod tests {
         let lit = DistanceConvention::PaperLiteral;
         assert_eq!(d_ip_verified(close_a, close_b, &oracle, lit), 0.0);
         assert_eq!(d_ip_verified(close_a, far_c, &oracle, lit), 1.0);
+    }
+
+    #[test]
+    fn row_distance_is_bit_identical_to_packet() {
+        let d = dist();
+        let mut packets = vec![
+            pkt(
+                "ad-maker.info",
+                [203, 0, 113, 10],
+                "/getad",
+                &[("imei", "355195000000017"), ("slot", "3")],
+            ),
+            pkt("img.yahoo.co.jp", [198, 51, 100, 20], "/static/a.png", &[]),
+            pkt("x.jp", [10, 1, 2, 3], "/a", &[("q", "1")]),
+        ];
+        // Cookie/body fields exercised too (empty-field convention).
+        packets.push(
+            RequestBuilder::post("/imp")
+                .form("udid", "dd72cbaeab8d2e442d92e90c2e829e4b")
+                .cookie("session=42")
+                .destination(Ipv4Addr::new(198, 51, 100, 7), 80, "imp.zeikato.net")
+                .build(),
+        );
+        let feats: Vec<_> = packets.iter().map(|p| d.features(p)).collect();
+        for x in &feats {
+            let mut row = d.row(x);
+            for y in &feats {
+                assert_eq!(row.content(y), d.content(x, y));
+                assert_eq!(row.packet(y), d.packet(x, y));
+            }
+        }
     }
 
     #[test]

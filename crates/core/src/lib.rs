@@ -72,18 +72,20 @@ pub mod wire;
 pub mod prelude {
     pub use crate::audit::{deploy_check, AuditConfig, Code, Diagnostic, Severity};
     pub use crate::bayes::{BayesConfig, BayesSignature};
-    pub use crate::cluster::{agglomerate, agglomerate_with, Dendrogram, Linkage, Merge};
+    pub use crate::cluster::{
+        agglomerate, agglomerate_legacy_with, agglomerate_with, Dendrogram, Linkage, Merge,
+    };
     pub use crate::detect::{Detection, Detector, Explanation, MatchMode};
     pub use crate::engine::{CompiledDetector, ScanScratch};
     pub use crate::distance::{DistanceConfig, DistanceConvention, PacketDistance, PacketFeatures};
     pub use crate::eval::{tally, Counts, Rates};
-    pub use crate::matrix::{pairwise, CondensedMatrix};
+    pub use crate::matrix::{pairwise, pairwise_naive, CondensedMatrix};
     pub use crate::payload::{Needle, PayloadCheck};
     pub use crate::pipeline::{
         drop_dominated, generate_signatures, generate_signatures_counted,
         generate_signatures_with, prune_against_normal, regeneration_pass, run_experiment,
-        run_experiment_refs, ClusterSelection, ExperimentOutcome, FpValidation,
-        GeneratedSignatures, PipelineConfig,
+        run_experiment_refs, take_last_timings, ClusterSelection, ExperimentOutcome,
+        FpValidation, GeneratedSignatures, PipelineConfig, StageTimings,
     };
     pub use crate::signature::{
         signature_from_cluster, ConjunctionSignature, Field, FieldToken, SignatureConfig,

@@ -57,11 +57,71 @@ impl CondensedMatrix {
     }
 }
 
+/// Split a condensed buffer into per-row mutable slices so worker threads
+/// can write their claimed rows without locks or aliasing.
+fn row_slices(n: usize, data: &mut [f64]) -> Vec<&mut [f64]> {
+    let mut rows: Vec<&mut [f64]> = Vec::with_capacity(n - 1);
+    let mut rest: &mut [f64] = data;
+    for i in 0..n - 1 {
+        let (row, tail) = rest.split_at_mut(n - i - 1);
+        rows.push(row);
+        rest = tail;
+    }
+    rows
+}
+
+/// Run `per_row(i, row)` over every condensed row on `threads` scoped
+/// workers, rows claimed one at a time from a shared atomic index.
+///
+/// Row `i` costs `n − i − 1` cells, so a static deal (round-robin or
+/// chunks) leaves the worker that drew the long early rows straggling
+/// while the rest sit idle. Dynamic claiming in natural order hands out
+/// the longest rows first and keeps every worker busy until the tail of
+/// cheap rows drains — the classic longest-processing-time heuristic.
+fn for_each_row_dynamic<F>(n: usize, data: &mut [f64], threads: usize, per_row: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    // Slots are `Mutex<Option<…>>` only to move each `&mut` row out to
+    // exactly one worker; the atomic counter guarantees a slot is claimed
+    // once, so the locks never contend.
+    type RowSlot<'a> = std::sync::Mutex<Option<(usize, &'a mut [f64])>>;
+    let slots: Vec<RowSlot<'_>> = row_slices(n, data)
+        .into_iter()
+        .enumerate()
+        .map(|job| std::sync::Mutex::new(Some(job)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (slots, next, per_row) = (&slots, &next, &per_row);
+                scope.spawn(move |_| loop {
+                    let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if k >= slots.len() {
+                        break;
+                    }
+                    let (i, row) = slots[k].lock().unwrap().take().expect("row claimed twice");
+                    per_row(i, row);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("distance worker panicked");
+        }
+    })
+    .expect("crossbeam scope");
+}
+
 /// Compute the pairwise packet-distance matrix over `features`,
 /// parallelised across all available cores with scoped threads.
 ///
-/// Work is sliced by rows; row `i` costs `n − i − 1` cells, so rows are
-/// dealt round-robin to keep the per-thread load even.
+/// Each worker claims whole rows from a shared atomic queue and computes
+/// row `i` through [`PacketDistance::row`]: the three content fields of
+/// packet `i` are compressed once into resumable encoder snapshots, and
+/// every cell resumes those snapshots with packet `j`'s fields — O(n)
+/// prefix compressions instead of O(n²), with the per-pair cost reduced
+/// to the `y`-side continuation.
 pub fn pairwise<C: Compressor + Sync>(
     dist: &PacketDistance<C>,
     features: &[PacketFeatures],
@@ -74,40 +134,42 @@ pub fn pairwise<C: Compressor + Sync>(
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
-        .min(n);
+        .min(n - 1);
+    for_each_row_dynamic(n, &mut matrix.data, threads, |i, row| {
+        let mut rd = dist.row(&features[i]);
+        for (off, cell) in row.iter_mut().enumerate() {
+            let j = i + 1 + off;
+            *cell = rd.packet(&features[j]);
+        }
+    });
+    matrix
+}
 
-    // Split the condensed buffer into per-row slices so threads can write
-    // without locks.
-    let mut rows: Vec<&mut [f64]> = Vec::with_capacity(n - 1);
-    let mut rest: &mut [f64] = &mut matrix.data;
-    for i in 0..n - 1 {
-        let (row, tail) = rest.split_at_mut(n - i - 1);
-        rows.push(row);
-        rest = tail;
+/// [`pairwise`] without resumable compressor state: every cell compresses
+/// its concatenations from scratch via [`PacketDistance::packet`]. Same
+/// dynamic row-claiming parallelism, so benchmarking this against
+/// [`pairwise`] isolates exactly the snapshot-reuse win. Results are
+/// bit-identical (the prefix contract demands exact counts) — asserted by
+/// tests and by the bench harness before timing.
+pub fn pairwise_naive<C: Compressor + Sync>(
+    dist: &PacketDistance<C>,
+    features: &[PacketFeatures],
+) -> CondensedMatrix {
+    let n = features.len();
+    if n < 2 {
+        return CondensedMatrix::zeros(n);
     }
-
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        let mut buckets: Vec<Vec<(usize, &mut [f64])>> = (0..threads).map(|_| Vec::new()).collect();
-        for (i, row) in rows.into_iter().enumerate() {
-            buckets[i % threads].push((i, row));
+    let mut matrix = CondensedMatrix::zeros(n);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n - 1);
+    for_each_row_dynamic(n, &mut matrix.data, threads, |i, row| {
+        for (off, cell) in row.iter_mut().enumerate() {
+            let j = i + 1 + off;
+            *cell = dist.packet(&features[i], &features[j]);
         }
-        for bucket in buckets {
-            handles.push(scope.spawn(move |_| {
-                for (i, row) in bucket {
-                    for (off, cell) in row.iter_mut().enumerate() {
-                        let j = i + 1 + off;
-                        *cell = dist.packet(&features[i], &features[j]);
-                    }
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("distance worker panicked");
-        }
-    })
-    .expect("crossbeam scope");
-
+    });
     matrix
 }
 
@@ -168,6 +230,20 @@ mod tests {
                     (m.get(i, j) - direct).abs() < 1e-12,
                     "mismatch at ({i},{j})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn resumable_matrix_is_bit_identical_to_naive() {
+        let d: PacketDistance = PacketDistance::default();
+        let f = feats(23);
+        let fast = pairwise(&d, &f);
+        let naive = pairwise_naive(&d, &f);
+        for i in 0..f.len() {
+            for j in i + 1..f.len() {
+                assert_eq!(fast.get(i, j), naive.get(i, j), "cell ({i},{j})");
+                assert_eq!(naive.get(i, j), d.packet(&f[i], &f[j]), "direct ({i},{j})");
             }
         }
     }

@@ -3,7 +3,7 @@
 
 use crate::cluster::agglomerate;
 use crate::detect::Detector;
-use crate::distance::{DistanceConfig, PacketDistance};
+use crate::distance::{DistanceConfig, PacketDistance, PacketFeatures};
 use crate::eval::{tally, Counts, Rates};
 use crate::matrix::pairwise;
 use crate::signature::{signature_from_cluster, SignatureConfig, SignatureSet};
@@ -12,6 +12,101 @@ use leaksig_http::HttpPacket;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::time::Instant;
+
+/// Wall-clock milliseconds spent in each stage of one generation /
+/// regeneration pass. Filled in by [`generate_signatures_counted`] (the
+/// first four stages) and [`regeneration_pass`] (pruning); the CLI prints
+/// one event line per pass so operators can see *where* a slow
+/// regeneration went without attaching a profiler.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Per-packet feature extraction (parse + per-field self-compression).
+    pub features_ms: f64,
+    /// Pairwise NCD distance matrix.
+    pub matrix_ms: f64,
+    /// Agglomerative clustering.
+    pub cluster_ms: f64,
+    /// Token extraction, dedup, and the deploy gate.
+    pub signatures_ms: f64,
+    /// Benign-traffic validation plus dominated-signature removal.
+    pub prune_ms: f64,
+}
+
+impl StageTimings {
+    /// Sum of all recorded stages.
+    pub fn total_ms(&self) -> f64 {
+        self.features_ms + self.matrix_ms + self.cluster_ms + self.signatures_ms + self.prune_ms
+    }
+
+    /// The one-line form the CLI prints after a pass.
+    pub fn event_line(&self) -> String {
+        format!(
+            "stage times: features {:.0}ms, matrix {:.0}ms, cluster {:.0}ms, \
+             signatures {:.0}ms, prune {:.0}ms (total {:.0}ms)",
+            self.features_ms,
+            self.matrix_ms,
+            self.cluster_ms,
+            self.signatures_ms,
+            self.prune_ms,
+            self.total_ms()
+        )
+    }
+}
+
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Timings of the most recent [`regeneration_pass`], on any thread.
+///
+/// The pass runs deep inside the collection server (often on a supervised
+/// worker thread) where its return type — the signature set — has no room
+/// for diagnostics, so the timings are parked here for whoever reports on
+/// the pass afterwards.
+static LAST_TIMINGS: std::sync::Mutex<Option<StageTimings>> = std::sync::Mutex::new(None);
+
+/// Take (and clear) the timings recorded by the most recent completed
+/// [`regeneration_pass`]. Returns `None` when no pass has finished since
+/// the last take.
+pub fn take_last_timings() -> Option<StageTimings> {
+    LAST_TIMINGS.lock().unwrap_or_else(|e| e.into_inner()).take()
+}
+
+/// Extract [`PacketFeatures`] for every packet across all cores.
+///
+/// Feature extraction self-compresses three content fields per packet, so
+/// at regeneration scale it costs O(n) compressor runs — embarrassingly
+/// parallel, and before this ran serially it was the second-largest slice
+/// of a pass after the matrix. Contiguous chunks keep cache locality and
+/// the join re-assembles in order, so output order (and therefore every
+/// downstream id) is identical to the serial map.
+fn extract_features<C: leaksig_compress::Compressor + Sync>(
+    dist: &PacketDistance<C>,
+    packets: &[&HttpPacket],
+) -> Vec<PacketFeatures> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    if threads <= 1 || packets.len() < 64 {
+        return packets.iter().map(|p| dist.features(p)).collect();
+    }
+    let chunk = packets.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = packets
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move |_| part.iter().map(|p| dist.features(p)).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(packets.len());
+        for h in handles {
+            out.extend(h.join().expect("feature worker panicked"));
+        }
+        out
+    })
+    .expect("crossbeam scope")
+}
 
 /// Which dendrogram nodes become signature candidates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -131,6 +226,10 @@ pub struct GeneratedSignatures {
     /// [`ClusterSelection::Cut`], the full dendrogram node count
     /// (`2n − 1`) for [`ClusterSelection::AllNodes`].
     pub clusters: usize,
+    /// Where the wall-clock went (`prune_ms` is zero here — pruning
+    /// happens after generation, in [`regeneration_pass`] or the
+    /// experiment driver).
+    pub timings: StageTimings,
 }
 
 /// Cluster a packet sample and emit conjunction signatures (§IV-D +
@@ -161,12 +260,21 @@ pub fn generate_signatures_counted<C: leaksig_compress::Compressor + Sync>(
         return GeneratedSignatures {
             set: SignatureSet::default(),
             clusters: 0,
+            timings: StageTimings::default(),
         };
     }
+    let mut timings = StageTimings::default();
     let dist = PacketDistance::new(compressor, config.distance);
-    let features: Vec<_> = packets.iter().map(|p| dist.features(p)).collect();
+    let t = Instant::now();
+    let features = extract_features(&dist, packets);
+    timings.features_ms = ms_since(t);
+    let t = Instant::now();
     let matrix = pairwise(&dist, &features);
+    timings.matrix_ms = ms_since(t);
+    let t = Instant::now();
     let dendrogram = agglomerate(&matrix);
+    timings.cluster_ms = ms_since(t);
+    let t = Instant::now();
     let clusters: Vec<Vec<usize>> = match config.selection {
         ClusterSelection::Cut(threshold) => dendrogram.cut(threshold),
         ClusterSelection::AllNodes { max_distance } => {
@@ -238,9 +346,11 @@ pub fn generate_signatures_counted<C: leaksig_compress::Compressor + Sync>(
                 .any(|d| d.severity == crate::audit::Severity::Error)
         });
     }
+    timings.signatures_ms = ms_since(t);
     GeneratedSignatures {
         set,
         clusters: cluster_count,
+        timings,
     }
 }
 
@@ -256,11 +366,16 @@ pub fn regeneration_pass(
     normal: &[&HttpPacket],
     config: &PipelineConfig,
 ) -> SignatureSet {
-    let mut set = generate_signatures(sample, config);
+    let generated = generate_signatures_counted(Lzss::default(), sample, config);
+    let mut timings = generated.timings;
+    let mut set = generated.set;
+    let t = Instant::now();
     if let Some(v) = config.fp_validation {
         prune_against_normal(&mut set, normal, v.max_hits);
     }
     drop_dominated(&mut set);
+    timings.prune_ms = ms_since(t);
+    *LAST_TIMINGS.lock().unwrap_or_else(|e| e.into_inner()) = Some(timings);
     set
 }
 
@@ -346,6 +461,8 @@ pub struct ExperimentOutcome {
     pub clusters: usize,
     /// The generated signature set.
     pub signatures: SignatureSet,
+    /// Per-stage wall-clock of the generation pass (including pruning).
+    pub timings: StageTimings,
 }
 
 /// Run the full §V experiment: sample `n` packets from the suspicious
@@ -388,7 +505,9 @@ pub fn run_experiment_refs(
     // signatures came from — the pairwise NCD matrix is computed once.
     let generated = generate_signatures_counted(Lzss::default(), &sample, config);
     let clusters = generated.clusters;
+    let mut timings = generated.timings;
     let mut signatures = generated.set;
+    let t = Instant::now();
     if let Some(v) = config.fp_validation {
         let mut normal: Vec<usize> = (0..packets.len()).filter(|&i| !sensitive[i]).collect();
         let mut vrng = StdRng::seed_from_u64(config.sample_seed ^ 0x4650);
@@ -398,6 +517,7 @@ pub fn run_experiment_refs(
         prune_against_normal(&mut signatures, &normal_sample, v.max_hits);
     }
     drop_dominated(&mut signatures);
+    timings.prune_ms = ms_since(t);
 
     // Detect over the full dataset.
     let detector = Detector::new(signatures);
@@ -411,6 +531,7 @@ pub fn run_experiment_refs(
         signatures: SignatureSet {
             signatures: detector.signatures().to_vec(),
         },
+        timings,
     }
 }
 
@@ -688,6 +809,66 @@ mod tests {
         let empty = generate_signatures_counted(Lzss::default(), &[], &cfg);
         assert_eq!(empty.clusters, 0);
         assert!(empty.set.is_empty());
+    }
+
+    /// Chunked parallel feature extraction preserves order and content —
+    /// the distance between any two extracted features is bit-identical
+    /// to the serial path (110 packets, comfortably past the serial
+    /// cutoff).
+    #[test]
+    fn parallel_feature_extraction_matches_serial() {
+        let packets: Vec<HttpPacket> = (0..110)
+            .map(|i| {
+                RequestBuilder::get("/t")
+                    .query("i", &i.to_string())
+                    .query("imei", "355195000000017")
+                    .destination(Ipv4Addr::new(203, 0, 113, (i % 200) as u8), 80, "p.example")
+                    .build()
+            })
+            .collect();
+        let refs: Vec<&HttpPacket> = packets.iter().collect();
+        let dist: PacketDistance = PacketDistance::default();
+        let par = extract_features(&dist, &refs);
+        let ser: Vec<_> = refs.iter().map(|p| dist.features(p)).collect();
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.ip, s.ip);
+            assert_eq!(p.rline, s.rline);
+        }
+        for (i, j) in [(0, 1), (0, 109), (54, 55), (63, 64), (107, 3)] {
+            assert_eq!(
+                dist.packet(&par[i], &par[j]),
+                dist.packet(&ser[i], &ser[j]),
+                "({i},{j})"
+            );
+        }
+    }
+
+    /// `regeneration_pass` parks its stage timings for the reporter;
+    /// `take_last_timings` drains them exactly once.
+    #[test]
+    fn regeneration_pass_records_stage_timings() {
+        let (packets, labels) = mini_dataset();
+        let sample: Vec<&HttpPacket> = packets
+            .iter()
+            .zip(&labels)
+            .filter(|&(_, &l)| l)
+            .map(|(p, _)| p)
+            .collect();
+        let normal: Vec<&HttpPacket> = packets
+            .iter()
+            .zip(&labels)
+            .filter(|&(_, &l)| !l)
+            .map(|(p, _)| p)
+            .collect();
+        let _ = take_last_timings();
+        let set = regeneration_pass(&sample, &normal, &PipelineConfig::default());
+        assert!(!set.is_empty());
+        let t = take_last_timings().expect("pass records timings");
+        assert!(t.matrix_ms >= 0.0 && t.total_ms() >= t.matrix_ms);
+        let line = t.event_line();
+        assert!(line.contains("matrix") && line.contains("prune"), "{line}");
+        assert!(take_last_timings().is_none(), "take must drain");
     }
 
     #[test]

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Benchmark runner: detection + NCD (`detect`) and raw-intake (`ingest`).
+# Benchmark runner: detection + NCD (`detect`), raw-intake (`ingest`),
+# and regeneration matrix/pass cost (`regen`).
 #
 # Default (quick mode): runs each bench binary at its full configured
 # scale with a reduced sample count, collects the criterion shim's JSONL
-# output, and writes the assembled baselines to BENCH_detect.json and
-# BENCH_ingest.json at the repo root. Commit the results to update the
-# checked-in perf baselines.
+# output, and writes the assembled baselines to BENCH_detect.json,
+# BENCH_ingest.json, and BENCH_regen.json at the repo root. Commit the
+# results to update the checked-in perf baselines.
 #
 # --smoke: tiny packet/signature counts and throwaway output files —
 # proves the harness runs end to end (wired into scripts/check.sh)
@@ -23,10 +24,15 @@ if [[ "$MODE" == "smoke" ]]; then
     export LEAKSIG_BENCH_PACKETS=200
     export LEAKSIG_BENCH_SIGS=8
     export LEAKSIG_BENCH_INGEST=200
+    export LEAKSIG_BENCH_REGEN_SIZES=60
     export CRITERION_SAMPLES=3
+    REGEN_SAMPLES=3
 else
     OUTDIR="."
     export CRITERION_SAMPLES="${CRITERION_SAMPLES:-10}"
+    # The regeneration rows run whole clustering passes per sample; a
+    # smaller count keeps the quick run under control.
+    REGEN_SAMPLES="${CRITERION_REGEN_SAMPLES:-3}"
 fi
 
 # run_bench <bench-name>: runs one bench binary and assembles its JSONL
@@ -53,6 +59,7 @@ run_bench() {
 
 run_bench detect
 run_bench ingest
+CRITERION_SAMPLES="$REGEN_SAMPLES" run_bench regen
 
 if [[ "$MODE" == "smoke" ]]; then
     # The harness must have produced the expected rows in each baseline.
@@ -66,5 +73,10 @@ if [[ "$MODE" == "smoke" ]]; then
         echo "smoke: expected >=2 ingest rows, got $INGEST_ROWS" >&2
         exit 1
     fi
-    echo "smoke: ok ($ROWS detect rows, $INGEST_ROWS ingest rows)"
+    REGEN_ROWS=$(grep -c '"group":"regen"' "$OUTDIR/BENCH_regen.json")
+    if [[ "$REGEN_ROWS" -lt 3 ]]; then
+        echo "smoke: expected >=3 regen rows, got $REGEN_ROWS" >&2
+        exit 1
+    fi
+    echo "smoke: ok ($ROWS detect rows, $INGEST_ROWS ingest rows, $REGEN_ROWS regen rows)"
 fi
