@@ -174,7 +174,12 @@ pub fn chaos(args: &Args) -> Result<i32, String> {
             RegenerateOutcome::Published {
                 version,
                 signatures,
-            } => println!("\nround {round}: published v{version} ({signatures} signatures)"),
+            } => {
+                println!("\nround {round}: published v{version} ({signatures} signatures)");
+                if let Some(diff) = publisher.take_last_diff() {
+                    println!("  generation diff: {}", diff.summary());
+                }
+            }
             RegenerateOutcome::NoTraffic => {
                 println!("\nround {round}: no suspicious traffic yet")
             }
@@ -482,4 +487,163 @@ pub fn inspect(args: &Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Parse `--mode conjunction|ordered|fraction` (+ `--threshold X` for
+/// fraction; default 0.5).
+fn parse_mode(args: &Args) -> Result<MatchMode, String> {
+    match args.optional("mode").unwrap_or("conjunction") {
+        "conjunction" => Ok(MatchMode::Conjunction),
+        "ordered" => Ok(MatchMode::Ordered),
+        "fraction" => {
+            let t = args
+                .optional("threshold")
+                .unwrap_or("0.5")
+                .parse::<f64>()
+                .map_err(|e| format!("--threshold: {e}"))?;
+            Ok(MatchMode::Fraction(t))
+        }
+        other => Err(format!(
+            "--mode must be conjunction|ordered|fraction, got {other:?}"
+        )),
+    }
+}
+
+/// `analyze`: whole-set semantic analysis (proved subsumption lattice,
+/// dead signatures, overlap graph, static cost/FP bounds), or — with
+/// `--diff OLD --new NEW` — the semantic diff between two generations.
+/// Exit code 1 on any proved-dead, proved-unmatchable, or proved-FP
+/// finding, 0 otherwise.
+pub fn analyze(args: &Args) -> Result<i32, String> {
+    let mode = parse_mode(args)?;
+    if let Some(old_path) = args.optional("diff") {
+        let old = load_sigs(old_path)?;
+        let new = load_sigs(args.required("new").map_err(|e| e.to_string())?)?;
+        let diff = leaksig_core::analyze::diff_generations(&old, &new, mode);
+        print_diff(&diff, &old, &new);
+        return Ok(0);
+    }
+
+    let set = load_sigs(args.required("sigs").map_err(|e| e.to_string())?)?;
+    let report = leaksig_core::analyze::analyze_set(&set, mode);
+
+    // Proved findings rendered through the shared diagnostic vocabulary.
+    let mut diags = leaksig_core::audit::semantic_dead(&set, mode);
+    let fp_threshold = args
+        .optional("fp-threshold")
+        .unwrap_or("0.05")
+        .parse::<f64>()
+        .map_err(|e| format!("--fp-threshold: {e}"))?;
+    let linter = leaksig_lint::Linter::new();
+    let corpus: Vec<&leaksig_http::HttpPacket> = linter.corpus().iter().collect();
+    diags.extend(leaksig_core::audit::corpus_fp_bounds(
+        &set,
+        &corpus,
+        mode,
+        fp_threshold,
+    ));
+    diags.extend(leaksig_core::audit::cost_findings(
+        &report.cost,
+        &leaksig_core::audit::CostBudget::default(),
+    ));
+    leaksig_lint::sort_findings(&mut diags);
+
+    match args.optional("format").unwrap_or("text") {
+        "json" => println!("{}", leaksig_lint::render_json(&diags)),
+        "text" => {
+            println!(
+                "{} signatures under {:?}: {} dominance edge{}, {} proved dead, \
+                 {} refuted shadow{}, {} overlap{}, {} undecided",
+                report.signatures,
+                report.mode,
+                report.dominance.len(),
+                if report.dominance.len() == 1 { "" } else { "s" },
+                report.dead.len(),
+                report.refuted_shadows.len(),
+                if report.refuted_shadows.len() == 1 { "" } else { "s" },
+                report.overlaps.len(),
+                if report.overlaps.len() == 1 { "" } else { "s" },
+                report.undecided.len(),
+            );
+            for e in &report.dominance {
+                println!(
+                    "  sig {} dominates sig {}: {}",
+                    set.signatures[e.dominator].id, set.signatures[e.dominated].id, e.proof.detail
+                );
+            }
+            for r in &report.refuted_shadows {
+                println!(
+                    "  L007 refuted for sig {} vs sig {}: {}",
+                    set.signatures[r.earlier].id,
+                    set.signatures[r.later].id,
+                    r.witness.describe()
+                );
+            }
+            println!(
+                "cost: {} patterns, {} states, worst {} hits/position",
+                report.cost.total_patterns,
+                report.cost.total_states,
+                report.cost.worst_hits_per_position
+            );
+            for f in &report.cost.fields {
+                println!(
+                    "  [{:<6}] {} patterns, {} bytes, {} states, depth {}, max outputs {}",
+                    f.field.tag(),
+                    f.patterns,
+                    f.pattern_bytes,
+                    f.states,
+                    f.max_depth,
+                    f.max_outputs
+                );
+            }
+            print!("{}", leaksig_lint::render_text(&diags));
+        }
+        other => return Err(format!("--format must be text|json, got {other:?}")),
+    }
+    Ok(if leaksig_lint::has_errors(&diags) { 1 } else { 0 })
+}
+
+fn print_diff(
+    diff: &leaksig_core::analyze::GenerationDiff,
+    old: &SignatureSet,
+    new: &SignatureSet,
+) {
+    println!(
+        "generation diff under {:?}: {}",
+        diff.mode,
+        diff.summary()
+    );
+    let witness_line = |w: &Option<leaksig_core::analyze::Witness>| match w {
+        Some(w) => format!("\n      witness: {}", w.describe()),
+        None => String::new(),
+    };
+    for a in &diff.added {
+        println!(
+            "  added     sig {} ({} tokens){}",
+            a.id,
+            new.signatures[a.index].tokens.len(),
+            witness_line(&a.witness)
+        );
+    }
+    for r in &diff.removed {
+        println!(
+            "  removed   sig {} ({} tokens){}",
+            r.id,
+            old.signatures[r.index].tokens.len(),
+            witness_line(&r.witness)
+        );
+    }
+    for c in &diff.changed {
+        println!(
+            "  {:<9} sig {} ({} -> {} tokens){}",
+            c.kind.label(),
+            c.id,
+            old.signatures[c.old_index].tokens.len(),
+            new.signatures[c.new_index].tokens.len(),
+            witness_line(&c.witness)
+        );
+    }
+    if diff.is_empty() {
+        println!("  no semantic change");
+    }
 }

@@ -7,6 +7,8 @@
 //! leaksig-cli detect   --capture capture.lsc --sigs sigs.txt [--device device.txt]
 //! leaksig-cli inspect  --sigs sigs.txt
 //! leaksig-cli lint     --sigs sigs.txt [--format text|json]
+//! leaksig-cli analyze  --sigs sigs.txt [--mode conjunction] [--format text|json]
+//! leaksig-cli analyze  --diff old.txt --new new.txt
 //! ```
 //!
 //! The `market` command synthesizes a capture (stand-in for a real
@@ -32,6 +34,9 @@ commands:
   gate      replay through the device gate: --capture FILE --sigs FILE [--policy allow|block]
   inspect   print a signature set:        --sigs FILE
   lint      audit a signature set:        --sigs FILE [--format text|json]  (exit 1 on errors)
+  analyze   semantic set analysis:        --sigs FILE [--mode conjunction|ordered|fraction] [--threshold X]
+                                          [--fp-threshold X] [--format text|json]  (exit 1 on proved findings)
+            generation diff:              --diff OLD --new NEW [--mode ...]
   chaos     fault-injected sync replay:   [--seed N] [--faults drop,corrupt|all] [--intensity X] [--rounds N]
             raw-intake frontier:          [--ingest garbage,oversize,headerbomb,dupflood,slowdrip|all] [--deadline MS]  (exit 1 unless converged)
 ";
@@ -67,6 +72,7 @@ fn run(argv: Vec<String>) -> Result<i32, String> {
         "gate" => commands::gate(&args).map(|()| 0),
         "inspect" => commands::inspect(&args).map(|()| 0),
         "lint" => commands::lint(&args),
+        "analyze" => commands::analyze(&args),
         "chaos" => commands::chaos(&args),
         other => Err(format!("unknown command {other:?}")),
     }

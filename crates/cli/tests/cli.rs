@@ -200,3 +200,141 @@ fn helpful_errors() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
 }
+
+/// `analyze`: semantic set analysis on a clean generated set exits 0; an
+/// injected shadowed signature becomes a proved A001 finding (exit 1, in
+/// both formats); `analyze --diff` classifies two generations and prints
+/// verdict-flipping witnesses.
+#[test]
+fn analyze_proves_dead_signatures_and_diffs_generations() {
+    let dir = std::env::temp_dir().join(format!("leaksig-analyze-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    let (cap, dev, sigs) = (path("cap.lsc"), path("device.txt"), path("sigs.txt"));
+
+    run_ok(&[
+        "market", "--out", &cap, "--device", &dev, "--seed", "13", "--scale", "0.03",
+    ]);
+    run_ok(&[
+        "generate", "--capture", &cap, "--device", &dev, "--out", &sigs, "--n", "80",
+    ]);
+
+    // Clean set: exit 0, lattice summary and cost report present.
+    let out = run_ok(&["analyze", "--sigs", &sigs]);
+    assert!(out.contains("signatures under Conjunction"), "{out}");
+    assert!(out.contains("cost:"), "{out}");
+    assert!(out.contains("0 errors"), "{out}");
+
+    // Inject a shadow pair: sig 90 ("imei=" in body) dominates sig 91
+    // ("imei=355195000000017" in body) — the analyzer must prove sig 91
+    // dead (A001) and fail the gate.
+    let mut text = std::fs::read_to_string(&sigs).unwrap();
+    text.push_str("sig 90 2\ntok body 696d65693d3335353139 0\nend\n");
+    text.push_str(
+        "sig 91 2\ntok body 696d65693d333535313935303030303030303137 0\nend\n",
+    );
+    let bad = path("shadowed.txt");
+    std::fs::write(&bad, &text).unwrap();
+
+    let out = bin().args(["analyze", "--sigs", &bad]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[A001] sig 91"), "{stdout}");
+    assert!(stdout.contains("proved dominated by signature 90"), "{stdout}");
+
+    // JSON format renders the A-code through the stable schema.
+    let out = bin()
+        .args(["analyze", "--sigs", &bad, "--format", "json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with(r#"{"version":1,"errors":"#), "{stdout}");
+    assert!(
+        stdout.contains(r#""code":"A001","severity":"error","signature_id":91,"#),
+        "{stdout}"
+    );
+
+    // Generation diff: a second generation from a different seed.
+    let (cap2, dev2, sigs2) = (path("cap2.lsc"), path("device2.txt"), path("sigs2.txt"));
+    run_ok(&[
+        "market", "--out", &cap2, "--device", &dev2, "--seed", "14", "--scale", "0.03",
+    ]);
+    run_ok(&[
+        "generate", "--capture", &cap2, "--device", &dev2, "--out", &sigs2, "--n", "80",
+    ]);
+    let out = run_ok(&["analyze", "--diff", &sigs, "--new", &sigs2]);
+    assert!(out.contains("generation diff under Conjunction: +"), "{out}");
+    assert!(
+        out.contains("added") || out.contains("removed") || out.contains("no semantic change"),
+        "{out}"
+    );
+    // Different market seeds always change the set; each change line for
+    // a synthesizable flip carries a witness packet.
+    assert!(out.contains("witness:"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The lint exit-code contract, pinned in both formats: warnings-only
+/// reports exit 0, error reports exit 1 — the JSON rendering must not
+/// change the status the text rendering gives.
+#[test]
+fn lint_exit_codes_match_across_formats() {
+    let dir = std::env::temp_dir().join(format!("leaksig-lintexit-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    let (cap, dev, sigs) = (path("cap.lsc"), path("device.txt"), path("sigs.txt"));
+    run_ok(&[
+        "market", "--out", &cap, "--device", &dev, "--seed", "17", "--scale", "0.03",
+    ]);
+    run_ok(&[
+        "generate", "--capture", &cap, "--device", &dev, "--out", &sigs, "--n", "80",
+    ]);
+
+    // Warnings-only: a healthy anchor plus a boilerplate fragment
+    // ("ST /" ⊂ "POST /") — L004 Warning, no Error.
+    let mut text = std::fs::read_to_string(&sigs).unwrap();
+    text.push_str(
+        "sig 95 2\ntok body 696d65693d333535313935303030303030303137 0\ntok rline 5354202f 0\nend\n",
+    );
+    let warny = path("warnings-only.txt");
+    std::fs::write(&warny, &text).unwrap();
+
+    for format in ["text", "json"] {
+        let out = bin()
+            .args(["lint", "--sigs", &warny, "--format", format])
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "warnings-only must exit 0 in {format}:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(if format == "json" {
+                r#""code":"L004""#
+            } else {
+                "warning[L004]"
+            }),
+            "{stdout}"
+        );
+    }
+
+    // Error-level: a boilerplate-only signature — exit 1 in both formats.
+    let mut text = std::fs::read_to_string(&sigs).unwrap();
+    text.push_str("sig 96 2\ntok rline 504f5354202f78797a 0\nend\n");
+    let bad = path("errors.txt");
+    std::fs::write(&bad, &text).unwrap();
+    for format in ["text", "json"] {
+        let out = bin()
+            .args(["lint", "--sigs", &bad, "--format", format])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(1), "errors must exit 1 in {format}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -73,6 +73,22 @@ pub enum Code {
     WireRoundTripLoss,
     /// L012: two signatures share an id (detections become ambiguous).
     DuplicateId,
+    /// L013: duplicate token bytes within one signature's per-field
+    /// token list (inflates Fraction-mode denominators, silently
+    /// weakening the threshold).
+    DuplicateTokenBytes,
+    /// A001: the analyzer proved the signature unreachable — an earlier
+    /// signature dominates it under the installed match mode.
+    ProvedDead,
+    /// A002: the analyzer proved the signature can never match any
+    /// packet under the installed match mode.
+    ProvedUnmatchable,
+    /// A003: the signature's exact corpus match fraction exceeds the
+    /// false-positive budget (found via the static frequency bound).
+    ProvedCorpusFp,
+    /// A004: the compiled set exceeds the static cost budget
+    /// (automaton states or worst-case hit density).
+    CostBudgetExceeded,
 }
 
 impl Code {
@@ -91,6 +107,11 @@ impl Code {
             Code::UnknownPolicySignature => "L010",
             Code::WireRoundTripLoss => "L011",
             Code::DuplicateId => "L012",
+            Code::DuplicateTokenBytes => "L013",
+            Code::ProvedDead => "A001",
+            Code::ProvedUnmatchable => "A002",
+            Code::ProvedCorpusFp => "A003",
+            Code::CostBudgetExceeded => "A004",
         }
     }
 
@@ -104,11 +125,16 @@ impl Code {
             | Code::DuplicateTokenSet
             | Code::UnknownPolicySignature
             | Code::WireRoundTripLoss
-            | Code::DuplicateId => Severity::Error,
+            | Code::DuplicateId
+            | Code::ProvedDead
+            | Code::ProvedUnmatchable
+            | Code::ProvedCorpusFp => Severity::Error,
             Code::BoilerplateToken
             | Code::ShadowedSignature
             | Code::FieldTokenOnGet
-            | Code::OrderHintConflict => Severity::Warning,
+            | Code::OrderHintConflict
+            | Code::DuplicateTokenBytes
+            | Code::CostBudgetExceeded => Severity::Warning,
         }
     }
 }
@@ -304,6 +330,34 @@ pub fn signature_structure(
                     .on_signature(sig.id)
                     .on_field(t.field)
                     .suggest("verify the cluster really sends this field on GET requests"),
+                );
+            }
+        }
+    }
+
+    // L013: the same bytes twice in one field inflate the Fraction-mode
+    // denominator — a 2-of-4 threshold quietly becomes 2-of-3 effective
+    // evidence, weakening the rule the operator thinks they installed.
+    {
+        let mut seen: std::collections::HashSet<(Field, &[u8])> = std::collections::HashSet::new();
+        let mut reported: std::collections::HashSet<(Field, &[u8])> =
+            std::collections::HashSet::new();
+        for t in &sig.tokens {
+            let key = (t.field, t.bytes());
+            if !seen.insert(key) && reported.insert(key) {
+                out.push(
+                    Diagnostic::new(
+                        Code::DuplicateTokenBytes,
+                        format!(
+                            "token {} appears more than once in the {} field: \
+                             duplicate tokens inflate the Fraction-mode denominator",
+                            display_token(t.bytes()),
+                            t.field.tag()
+                        ),
+                    )
+                    .on_signature(sig.id)
+                    .on_field(t.field)
+                    .suggest("deduplicate the token list; each invariant counts once"),
                 );
             }
         }
@@ -562,9 +616,121 @@ pub fn has_errors(diagnostics: &[Diagnostic]) -> bool {
     diagnostics.iter().any(|d| d.severity == Severity::Error)
 }
 
+/// Proved-verdict findings from [`crate::analyze::dead_signatures`]:
+/// A002 for provably-unmatchable signatures, A001 for signatures an
+/// earlier signature provably dominates under `mode`. Unlike L007 this
+/// carries a proof, so both are Errors.
+pub fn semantic_dead(set: &SignatureSet, mode: crate::detect::MatchMode) -> Vec<Diagnostic> {
+    crate::analyze::dead_signatures(set, mode)
+        .into_iter()
+        .map(|d| match d.reason {
+            crate::analyze::DeadReason::Unmatchable { detail } => Diagnostic::new(
+                Code::ProvedUnmatchable,
+                format!("proved unmatchable under {mode:?}: {detail}"),
+            )
+            .on_signature(d.id)
+            .suggest("delete the signature; it can never fire"),
+            crate::analyze::DeadReason::Dominated { by_index, by_id } => Diagnostic::new(
+                Code::ProvedDead,
+                format!(
+                    "proved dominated by signature {by_id} (position {by_index}) \
+                     under {mode:?}: every packet it matches, that one matches first"
+                ),
+            )
+            .on_signature(d.id)
+            .suggest("drop the signature or reorder the set"),
+        })
+        .collect()
+}
+
+/// Proved corpus false positives via [`crate::analyze::fp_exposure`]:
+/// A003 when a signature's *exact* corpus match fraction exceeds
+/// `max_fraction` (the static frequency bound decides which signatures
+/// need the exact count at all). A static, proved counterpart of L005.
+pub fn corpus_fp_bounds(
+    set: &SignatureSet,
+    corpus: &[&HttpPacket],
+    mode: crate::detect::MatchMode,
+    max_fraction: f64,
+) -> Vec<Diagnostic> {
+    crate::analyze::fp_exposure(set, corpus, mode, max_fraction)
+        .into_iter()
+        .filter_map(|e| {
+            let exact = e.exact?;
+            (exact > max_fraction).then(|| {
+                Diagnostic::new(
+                    Code::ProvedCorpusFp,
+                    format!(
+                        "matches {:.1}% of the normal corpus under {mode:?} \
+                         (static bound {:.1}%, budget {:.1}%)",
+                        exact * 100.0,
+                        e.bound * 100.0,
+                        max_fraction * 100.0
+                    ),
+                )
+                .on_signature(e.id)
+                .suggest("tighten the tokens or regenerate from a purer cluster")
+            })
+        })
+        .collect()
+}
+
+/// Static resource budget for a compiled set, checked by
+/// [`cost_findings`].
+#[derive(Debug, Clone)]
+pub struct CostBudget {
+    /// Maximum automaton states across all fields.
+    pub max_states: usize,
+    /// Maximum pattern hits a single scan position may emit.
+    pub max_hits_per_position: usize,
+}
+
+impl Default for CostBudget {
+    fn default() -> Self {
+        CostBudget {
+            max_states: 200_000,
+            max_hits_per_position: 16,
+        }
+    }
+}
+
+/// A004 findings when a [`crate::analyze::CostReport`] exceeds `budget`.
+/// Warnings, not Errors: an oversized set still detects correctly, it
+/// just costs device memory and per-byte time.
+pub fn cost_findings(cost: &crate::analyze::CostReport, budget: &CostBudget) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if cost.total_states > budget.max_states {
+        out.push(
+            Diagnostic::new(
+                Code::CostBudgetExceeded,
+                format!(
+                    "compiled set needs {} automaton states (budget {})",
+                    cost.total_states, budget.max_states
+                ),
+            )
+            .suggest("split the set or drop low-value signatures"),
+        );
+    }
+    if cost.worst_hits_per_position > budget.max_hits_per_position {
+        out.push(
+            Diagnostic::new(
+                Code::CostBudgetExceeded,
+                format!(
+                    "worst-case {} pattern hits at one scan position (budget {})",
+                    cost.worst_hits_per_position, budget.max_hits_per_position
+                ),
+            )
+            .suggest("long shared token suffixes cause output pile-up; diversify tokens"),
+        );
+    }
+    out
+}
+
 /// The deploy gate: the corpus-free rules (structural, subsumption, wire
-/// round-trip) under default parameters, reduced to Error-level findings.
-/// `Ok(())` means the set may ship; `Err` carries the blocking findings.
+/// round-trip) under default parameters, plus the analyzer's proved
+/// verdicts ([`semantic_dead`] under Conjunction — A001/A002), reduced
+/// to Error-level findings. `Ok(())` means the set may ship; `Err`
+/// carries the blocking findings.
 ///
 /// This is what [`crate::pipeline`] and the device store apply by
 /// default. The full linter (`leaksig-lint`) additionally measures
@@ -575,6 +741,7 @@ pub fn deploy_check(set: &SignatureSet) -> Result<(), Vec<Diagnostic>> {
         .into_iter()
         .chain(subsumption(set))
         .chain(wire_round_trip(set))
+        .chain(semantic_dead(set, crate::detect::MatchMode::Conjunction))
         .filter(|d| d.severity == Severity::Error)
         .collect();
     if errors.is_empty() {
@@ -720,6 +887,114 @@ mod tests {
         let diags = structural(&s, &AuditConfig::default());
         assert!(diags.iter().any(|d| d.code == Code::DuplicateId));
         assert!(deploy_check(&s).is_err());
+    }
+
+    #[test]
+    fn duplicate_token_bytes_within_one_signature_warn() {
+        // Same bytes twice in one field → exactly one L013 per duplicated
+        // pattern, a Warning (the set still behaves as specified under
+        // Conjunction; only Fraction denominators are inflated).
+        let s = sig(
+            4,
+            vec![
+                FieldToken::new(Field::Body, &b"imei=355195000000017"[..]),
+                FieldToken::new(Field::Body, &b"imei=355195000000017"[..]),
+                FieldToken::new(Field::Body, &b"imei=355195000000017"[..]),
+            ],
+        );
+        let diags = signature_structure(&s, &AuditConfig::default());
+        let l013: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == Code::DuplicateTokenBytes)
+            .collect();
+        assert_eq!(l013.len(), 1, "one finding per duplicated pattern: {diags:?}");
+        assert_eq!(l013[0].severity, Severity::Warning);
+        assert_eq!(l013[0].field, Some(Field::Body));
+        // Same bytes in *different* fields are distinct invariants.
+        let cross = sig(
+            5,
+            vec![
+                FieldToken::new(Field::Body, &b"imei=355195000000017"[..]),
+                FieldToken::new(Field::Cookie, &b"imei=355195000000017"[..]),
+            ],
+        );
+        let diags = signature_structure(&cross, &AuditConfig::default());
+        assert!(!diags.iter().any(|d| d.code == Code::DuplicateTokenBytes));
+    }
+
+    #[test]
+    fn semantic_dead_findings_carry_proved_codes() {
+        let general = sig(1, vec![FieldToken::new(Field::Body, &b"imei=355195"[..])]);
+        let specific = sig(
+            2,
+            vec![FieldToken::new(Field::Body, &b"imei=355195000000017"[..])],
+        );
+        let unmatchable = sig(
+            3,
+            vec![FieldToken::new(
+                Field::RequestLine,
+                &[0xFF, b'/', b'a', b'b', b'c', b'd', b'e', b'f', b'g', b'h'][..],
+            )],
+        );
+        let s = set_of(vec![general, specific, unmatchable]);
+        let diags = semantic_dead(&s, crate::detect::MatchMode::Conjunction);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::ProvedDead && d.signature_id == Some(2)));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::ProvedUnmatchable && d.signature_id == Some(3)));
+        assert!(diags.iter().all(|d| d.severity == Severity::Error));
+        // The deploy gate now carries the proved verdicts.
+        let gate = deploy_check(&s).unwrap_err();
+        assert!(gate.iter().any(|d| d.code == Code::ProvedDead));
+        assert!(gate.iter().any(|d| d.code == Code::ProvedUnmatchable));
+    }
+
+    #[test]
+    fn cost_findings_respect_budget() {
+        let s = set_of(vec![sig(
+            1,
+            vec![FieldToken::new(Field::Body, &b"imei=355195000000017"[..])],
+        )]);
+        let cost = crate::analyze::cost_report(&s, crate::detect::MatchMode::Conjunction);
+        assert!(cost_findings(&cost, &CostBudget::default()).is_empty());
+        let tiny = CostBudget {
+            max_states: 1,
+            max_hits_per_position: 0,
+        };
+        let diags = cost_findings(&cost, &tiny);
+        assert_eq!(diags.len(), 2);
+        assert!(diags
+            .iter()
+            .all(|d| d.code == Code::CostBudgetExceeded && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn corpus_fp_bounds_flag_general_signatures() {
+        use leaksig_http::RequestBuilder;
+        use std::net::Ipv4Addr;
+        let corpus_owned: Vec<HttpPacket> = (0..20)
+            .map(|i| {
+                RequestBuilder::post("/app")
+                    .form("lang", "en")
+                    .form("slot", &i.to_string())
+                    .destination(Ipv4Addr::new(10, 0, 0, 9), 80, "c.example")
+                    .build()
+            })
+            .collect();
+        let corpus: Vec<&HttpPacket> = corpus_owned.iter().collect();
+        let over = sig(1, vec![FieldToken::new(Field::Body, &b"lang=en"[..])]);
+        let under = sig(
+            2,
+            vec![FieldToken::new(Field::Body, &b"imei=355195000000017"[..])],
+        );
+        let s = set_of(vec![over, under]);
+        let diags = corpus_fp_bounds(&s, &corpus, crate::detect::MatchMode::Conjunction, 0.05);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::ProvedCorpusFp);
+        assert_eq!(diags[0].signature_id, Some(1));
+        assert_eq!(diags[0].severity, Severity::Error);
     }
 
     #[test]

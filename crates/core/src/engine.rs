@@ -253,6 +253,12 @@ impl Automaton {
     fn state_count(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Largest output set of any state: the worst-case number of pattern
+    /// hits a single scan position can emit.
+    fn max_outputs(&self) -> usize {
+        self.nodes.iter().map(|n| n.outputs.len()).max().unwrap_or(0)
+    }
 }
 
 /// Per-field matcher: nothing, one needle (memchr skip loop), or a full
@@ -335,6 +341,29 @@ pub struct CompiledDetector {
     /// Ordered-mode verification plans (empty unless mode is `Ordered`):
     /// per signature, per field, steps in `matches_ordered` order.
     ordered_plans: Vec<[Vec<OrderedStep>; FIELDS]>,
+    /// Per field: (distinct patterns, total pattern bytes, longest
+    /// pattern), recorded at compile time for the static cost report.
+    field_stats: [(usize, usize, usize); FIELDS],
+}
+
+/// Static cost of one field's compiled matcher, reported by
+/// [`CompiledDetector::field_costs`].
+#[derive(Debug, Clone)]
+pub struct FieldCost {
+    /// The field this matcher scans.
+    pub field: Field,
+    /// Distinct patterns routed to this field.
+    pub patterns: usize,
+    /// Total bytes across those patterns.
+    pub pattern_bytes: usize,
+    /// Automaton states (`0` for an empty field, `2` for the
+    /// single-needle fast path).
+    pub states: usize,
+    /// Trie depth: the longest pattern in the field.
+    pub max_depth: usize,
+    /// Worst-case pattern hits any single scan position can emit (the
+    /// largest flattened output set over all states).
+    pub max_outputs: usize,
 }
 
 /// Reusable per-packet scan state. Epoch-stamped so that resetting between
@@ -448,6 +477,14 @@ impl CompiledDetector {
         for (pid, (f, bytes)) in pattern_bytes.iter().enumerate() {
             per_field[*f].push((bytes.as_slice(), pid as u32));
         }
+        let mut field_stats = [(0usize, 0usize, 0usize); FIELDS];
+        for (f, patterns) in per_field.iter().enumerate() {
+            field_stats[f] = (
+                patterns.len(),
+                patterns.iter().map(|(b, _)| b.len()).sum(),
+                patterns.iter().map(|(b, _)| b.len()).max().unwrap_or(0),
+            );
+        }
         let matchers = per_field.map(|patterns| match patterns.len() {
             0 => FieldMatcher::Empty,
             1 => FieldMatcher::Single {
@@ -501,6 +538,7 @@ impl CompiledDetector {
             ids,
             always,
             ordered_plans,
+            field_stats,
         }
     }
 
@@ -524,6 +562,29 @@ impl CompiledDetector {
                 FieldMatcher::Empty => 0,
             })
             .sum()
+    }
+
+    /// Static per-field matcher costs, in [`Field::ALL`] order: pattern
+    /// counts and byte volume from compile time, automaton size and
+    /// worst-case hit density measured from the built matchers.
+    pub fn field_costs(&self) -> [FieldCost; FIELDS] {
+        std::array::from_fn(|i| {
+            let (patterns, pattern_bytes, max_depth) = self.field_stats[i];
+            let field = Field::ALL[i];
+            let (states, max_outputs) = match &self.matchers[i] {
+                FieldMatcher::Automaton(a) => (a.state_count(), a.max_outputs()),
+                FieldMatcher::Single { .. } => (2, 1),
+                FieldMatcher::Empty => (0, 0),
+            };
+            FieldCost {
+                field,
+                patterns,
+                pattern_bytes,
+                states,
+                max_depth,
+                max_outputs,
+            }
+        })
     }
 
     /// A scratch sized for this engine. Allocate one per thread; every

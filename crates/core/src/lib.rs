@@ -23,6 +23,10 @@
 //! * [`audit`] — static auditing of finished sets: the diagnostic
 //!   vocabulary and the deploy gate (§VI's hazards, re-checked at the
 //!   deployment boundary; `leaksig-lint` builds on it).
+//! * [`analyze`] — whole-set semantic analysis: proved subsumption
+//!   lattice per [`detect::MatchMode`], dead-signature detection with
+//!   witness traces, generation diffs, and static cost / FP-exposure
+//!   bounds (the proved counterpart of [`audit`]'s heuristics).
 //! * [`engine`] — the compiled detection engine: per-field multi-pattern
 //!   token automata + counting conjunction evaluation (one linear pass
 //!   per packet evaluates every signature).
@@ -54,6 +58,7 @@
 //! assert!(detector.match_packet(&mk("42")).is_some());
 //! ```
 
+pub mod analyze;
 pub mod audit;
 pub mod bayes;
 pub mod cluster;
@@ -70,6 +75,11 @@ pub mod wire;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use crate::analyze::{
+        analyze_set, dead_signatures, diff_generations, dominates, drop_dead, fp_exposure,
+        prove_dominates, set_matches, ChangeKind, CostReport, DeadReason, DeadSignature,
+        Dominance, DominanceProof, FpExposure, GenerationDiff, SetAnalysis, Witness,
+    };
     pub use crate::audit::{deploy_check, AuditConfig, Code, Diagnostic, Severity};
     pub use crate::bayes::{BayesConfig, BayesSignature};
     pub use crate::cluster::{

@@ -339,12 +339,12 @@ pub fn generate_signatures_counted<C: leaksig_compress::Compressor + Sync>(
     // but shipping §VI boilerplate-only signatures additionally requires
     // `deploy_gate: false`.
     if config.deploy_gate {
-        let audit_cfg = crate::audit::AuditConfig::default();
-        set.signatures.retain(|sig| {
-            !crate::audit::signature_structure(sig, &audit_cfg)
-                .iter()
-                .any(|d| d.severity == crate::audit::Severity::Error)
-        });
+        retain_structurally_clean(&mut set);
+        // The publish/install gate also refuses proved-dead signatures
+        // (A001/A002), so gated output must clear them too. Safe here
+        // because this function never prunes against benign traffic; the
+        // pruning paths defer the whole gate until after validation.
+        crate::analyze::drop_dead(&mut set, crate::detect::MatchMode::Conjunction);
     }
     timings.signatures_ms = ms_since(t);
     GeneratedSignatures {
@@ -366,17 +366,42 @@ pub fn regeneration_pass(
     normal: &[&HttpPacket],
     config: &PipelineConfig,
 ) -> SignatureSet {
-    let generated = generate_signatures_counted(Lzss::default(), sample, config);
+    // Defer the deploy gate past benign pruning: gate-time dead-signature
+    // removal must not let a general signature swallow its specific
+    // children before validation has had a chance to reject it.
+    let mut gen_config = config.clone();
+    gen_config.deploy_gate = false;
+    let generated = generate_signatures_counted(Lzss::default(), sample, &gen_config);
     let mut timings = generated.timings;
     let mut set = generated.set;
     let t = Instant::now();
     if let Some(v) = config.fp_validation {
         prune_against_normal(&mut set, normal, v.max_hits);
     }
+    if config.deploy_gate {
+        retain_structurally_clean(&mut set);
+    }
     drop_dominated(&mut set);
+    // The syntactic prescreen above misses dominators with more tokens
+    // than the dominated signature; the analyzer's proved verdicts catch
+    // the remainder, so the published artifact clears the A001/A002 gate.
+    crate::analyze::drop_dead(&mut set, crate::detect::MatchMode::Conjunction);
     timings.prune_ms = ms_since(t);
     *LAST_TIMINGS.lock().unwrap_or_else(|e| e.into_inner()) = Some(timings);
     set
+}
+
+/// The deploy gate's structural half: drop every signature carrying an
+/// Error-level per-signature audit finding under the *default* policy
+/// (see the gate comment in `generate_signatures_counted` for why the
+/// caller's loosened `config.signature` is deliberately not consulted).
+fn retain_structurally_clean(set: &mut SignatureSet) {
+    let audit_cfg = crate::audit::AuditConfig::default();
+    set.signatures.retain(|sig| {
+        !crate::audit::signature_structure(sig, &audit_cfg)
+            .iter()
+            .any(|d| d.severity == crate::audit::Severity::Error)
+    });
 }
 
 /// Remove signatures whose token set is a superset of another signature's
@@ -503,7 +528,10 @@ pub fn run_experiment_refs(
     // `AllNodes` selection a fixed cut is not meaningful). The counted
     // variant reports the cluster count from the same dendrogram the
     // signatures came from — the pairwise NCD matrix is computed once.
-    let generated = generate_signatures_counted(Lzss::default(), &sample, config);
+    // Same gate deferral as `regeneration_pass`: validate first, gate after.
+    let mut gen_config = config.clone();
+    gen_config.deploy_gate = false;
+    let generated = generate_signatures_counted(Lzss::default(), &sample, &gen_config);
     let clusters = generated.clusters;
     let mut timings = generated.timings;
     let mut signatures = generated.set;
@@ -516,7 +544,11 @@ pub fn run_experiment_refs(
         let normal_sample: Vec<&HttpPacket> = normal.iter().map(|&i| packets[i]).collect();
         prune_against_normal(&mut signatures, &normal_sample, v.max_hits);
     }
+    if config.deploy_gate {
+        retain_structurally_clean(&mut signatures);
+    }
     drop_dominated(&mut signatures);
+    crate::analyze::drop_dead(&mut signatures, crate::detect::MatchMode::Conjunction);
     timings.prune_ms = ms_since(t);
 
     // Detect over the full dataset.
@@ -688,15 +720,43 @@ mod tests {
         assert!(crate::audit::deploy_check(&ungated).is_err());
     }
 
-    /// The default pipeline on clean input produces sets with zero
+    /// The default publish path on clean input produces sets with zero
     /// Error-level findings — the gate never bites on the happy path.
+    /// The gated artifact is [`regeneration_pass`]'s output (what the
+    /// collection server actually publishes): raw generation under
+    /// `AllNodes` may legitimately carry dominance pairs that the
+    /// pass's dominated-signature removal then strips.
     #[test]
     fn default_generation_passes_the_deploy_gate() {
-        let (packets, _) = mini_dataset();
+        let (packets, sensitive) = mini_dataset();
         let sample: Vec<&HttpPacket> = packets[..60].iter().collect();
-        let set = generate_signatures(&sample, &PipelineConfig::default());
+        let normal: Vec<&HttpPacket> = packets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !sensitive[*i])
+            .map(|(_, p)| p)
+            .collect();
+        let set = regeneration_pass(&sample, &normal, &PipelineConfig::default());
         assert!(!set.is_empty());
-        crate::audit::deploy_check(&set).expect("clean generation is gate-clean");
+        crate::audit::deploy_check(&set).expect("clean regeneration is gate-clean");
+    }
+
+    /// The regeneration pass leaves no signature the analyzer can prove
+    /// dead: the published artifact clears the semantic A001/A002 gate,
+    /// including dominators the syntactic prescreen cannot see.
+    #[test]
+    fn regeneration_output_has_no_proved_dead_signatures() {
+        let (packets, sensitive) = mini_dataset();
+        let sample: Vec<&HttpPacket> = packets[..60].iter().collect();
+        let normal: Vec<&HttpPacket> = packets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !sensitive[*i])
+            .map(|(_, p)| p)
+            .collect();
+        let set = regeneration_pass(&sample, &normal, &PipelineConfig::default());
+        let dead = crate::analyze::dead_signatures(&set, crate::detect::MatchMode::Conjunction);
+        assert!(dead.is_empty(), "proved-dead survivors: {dead:?}");
     }
 
     /// The prescreened [`drop_dominated`] keeps exactly the signatures

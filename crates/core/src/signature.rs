@@ -185,6 +185,19 @@ impl ConjunctionSignature {
             .count();
         hit as f64 / self.tokens.len() as f64
     }
+
+    /// One-call evaluation under any [`MatchMode`](crate::detect::MatchMode),
+    /// agreeing with the
+    /// compiled engine's semantics: [`ConjunctionSignature::matches`]
+    /// for conjunction, [`ConjunctionSignature::matches_ordered`] for
+    /// ordered, and `match_fraction >= t` for fraction mode.
+    pub fn matches_mode(&self, mode: crate::detect::MatchMode, packet: &HttpPacket) -> bool {
+        match mode {
+            crate::detect::MatchMode::Conjunction => self.matches(packet),
+            crate::detect::MatchMode::Ordered => self.matches_ordered(packet),
+            crate::detect::MatchMode::Fraction(t) => self.match_fraction(packet) >= t,
+        }
+    }
 }
 
 /// The request-line text tokens are extracted from and matched against:

@@ -100,6 +100,13 @@ impl Linter {
         self.corpus.len()
     }
 
+    /// The benign corpus itself, for callers running their own analyses
+    /// against the same traffic the L005 rule measures (e.g. the CLI's
+    /// static FP-exposure bounds).
+    pub fn corpus(&self) -> &[HttpPacket] {
+        &self.corpus
+    }
+
     /// Run every set-level rule: structural, shadowing/subsumption,
     /// corpus generality, and wire round-trip. Findings are ordered by
     /// severity (errors first), then signature id, then code.
@@ -132,16 +139,23 @@ impl Linter {
     }
 }
 
-/// Deterministic report order: errors before warnings, then by signature
-/// id (set-level findings first), then code.
-fn sort_report(diagnostics: &mut [Diagnostic]) {
+/// Deterministic report order: errors before warnings, then by code,
+/// signature id (set-level findings first), field, and message — so gate
+/// logs and report snapshots are byte-identical across runs regardless
+/// of which rule emitted a finding first.
+pub fn sort_findings(diagnostics: &mut [Diagnostic]) {
     diagnostics.sort_by(|a, b| {
         b.severity
             .cmp(&a.severity)
-            .then(a.signature_id.cmp(&b.signature_id))
             .then(a.code.cmp(&b.code))
+            .then(a.signature_id.cmp(&b.signature_id))
+            .then(a.field.map(|f| f.tag()).cmp(&b.field.map(|f| f.tag())))
             .then(a.message.cmp(&b.message))
     });
+}
+
+fn sort_report(diagnostics: &mut [Diagnostic]) {
+    sort_findings(diagnostics);
 }
 
 /// The bundled benign corpus: the deterministic netsim market's normal
@@ -223,6 +237,47 @@ mod tests {
         assert!(report[..first_warning]
             .iter()
             .all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn report_order_is_deterministic_and_code_sorted() {
+        use leaksig_core::signature::Field as F;
+        // Hand-shuffled findings at mixed severities: sorting must give
+        // severity-major, then code, then signature id, then field.
+        let mk = |code: Code, id: Option<u32>, field: Option<F>| {
+            let mut d = Diagnostic::new(code, "m");
+            d.signature_id = id;
+            d.field = field;
+            d
+        };
+        let mut a = vec![
+            mk(Code::BoilerplateToken, Some(2), Some(F::Body)),
+            mk(Code::MissingAnchor, Some(9), None),
+            mk(Code::BoilerplateToken, Some(2), Some(F::Cookie)),
+            mk(Code::DuplicateId, Some(1), None),
+            mk(Code::MissingAnchor, Some(3), None),
+        ];
+        let mut b: Vec<Diagnostic> = a.iter().rev().cloned().collect();
+        sort_findings(&mut a);
+        sort_findings(&mut b);
+        assert_eq!(a, b, "order must not depend on input order");
+        let keys: Vec<(&str, Option<u32>)> = a
+            .iter()
+            .map(|d| (d.code.as_str(), d.signature_id))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("L003", Some(3)),
+                ("L003", Some(9)),
+                ("L012", Some(1)),
+                ("L004", Some(2)),
+                ("L004", Some(2)),
+            ]
+        );
+        // Field breaks the tie between the two L004 findings on sig 2.
+        assert_eq!(a[3].field, Some(F::Body));
+        assert_eq!(a[4].field, Some(F::Cookie));
     }
 
     #[test]

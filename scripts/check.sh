@@ -23,6 +23,22 @@ CHAOS_SEEDS="$CHAOS_SEEDS" cargo test --quiet --test chaos
 echo "==> ingest chaos soak (seeds ${CHAOS_SEEDS})"
 CHAOS_SEEDS="$CHAOS_SEEDS" cargo test --quiet --test ingest_chaos
 
+# Semantic analyze gate: generate two consecutive signature generations
+# and require the analyzer to prove the shipped set free of dead/FP
+# signatures (exit 1 on any proved finding fails the gate via set -e),
+# then exercise the generation diff between them.
+echo "==> analyze gate"
+ANALYZE_DIR="$(mktemp -d)"
+trap 'rm -rf "$ANALYZE_DIR"' EXIT
+CLI=target/release/leaksig-cli
+"$CLI" market --out "$ANALYZE_DIR/cap1.lsc" --device "$ANALYZE_DIR/dev1.txt" --seed 42 --scale 0.02
+"$CLI" market --out "$ANALYZE_DIR/cap2.lsc" --device "$ANALYZE_DIR/dev2.txt" --seed 43 --scale 0.02
+"$CLI" generate --capture "$ANALYZE_DIR/cap1.lsc" --device "$ANALYZE_DIR/dev1.txt" --out "$ANALYZE_DIR/gen1.txt" --n 120
+"$CLI" generate --capture "$ANALYZE_DIR/cap2.lsc" --device "$ANALYZE_DIR/dev2.txt" --out "$ANALYZE_DIR/gen2.txt" --n 120
+"$CLI" analyze --sigs "$ANALYZE_DIR/gen1.txt"
+"$CLI" analyze --sigs "$ANALYZE_DIR/gen2.txt"
+"$CLI" analyze --diff "$ANALYZE_DIR/gen1.txt" --new "$ANALYZE_DIR/gen2.txt"
+
 echo "==> bench smoke"
 scripts/bench.sh --smoke
 
