@@ -58,11 +58,323 @@ last 10 audit records:"
     Ok(())
 }
 
+/// Print a regeneration outcome the same way everywhere.
+fn report_regen(
+    outcome: &leaksig_device::RegenerateOutcome,
+    publisher: &leaksig_device::SignatureServer,
+) {
+    use leaksig_device::RegenerateOutcome;
+    match outcome {
+        RegenerateOutcome::Published {
+            version,
+            signatures,
+        } => {
+            println!("published v{version} ({signatures} signatures)");
+            if let Some(diff) = publisher.take_last_diff() {
+                println!("  generation diff: {}", diff.summary());
+            }
+        }
+        RegenerateOutcome::NoTraffic => println!("no suspicious traffic yet"),
+        RegenerateOutcome::Rejected(diags) => {
+            println!("publish rejected ({} findings)", diags.len())
+        }
+        RegenerateOutcome::TimedOut { deadline_ms } => {
+            println!("regeneration exceeded {deadline_ms}ms; kept old set")
+        }
+        RegenerateOutcome::Panicked { message } => {
+            println!("pipeline panicked ({message}); kept old set")
+        }
+    }
+}
+
+/// `serve`: run the TCP collection server — real sockets in front of the
+/// hardened intake, periodic regeneration, `SYNC` answering — until
+/// `--batches N` acked batches arrive (`0` = run until killed).
+pub fn serve(args: &Args) -> Result<i32, String> {
+    use leaksig_device::{CollectionServer, IngestConfig, RateLimit, Shed, SignatureServer};
+    use leaksig_net::{NetConfig, NetServer};
+    use std::sync::Arc;
+
+    let check = load_check(args.required("device").map_err(|e| e.to_string())?)?;
+    let bind = args.optional("bind").unwrap_or("127.0.0.1:7341");
+    let seed: u64 = args.parsed_or("seed", 42).map_err(|e| e.to_string())?;
+    let batches: u64 = args.parsed_or("batches", 0).map_err(|e| e.to_string())?;
+    let regen_every: u64 = args
+        .parsed_or("regen-every", 0)
+        .map_err(|e| e.to_string())?;
+    let n: usize = args.parsed_or("n", 150).map_err(|e| e.to_string())?;
+
+    let collector = Arc::new(CollectionServer::with_intake(
+        check,
+        PipelineConfig::default(),
+        400,
+        seed,
+        IngestConfig {
+            rate: Some(RateLimit {
+                burst: 256,
+                per_second: 10_000,
+            }),
+            shed: Shed::Newest,
+            ..IngestConfig::default()
+        },
+    ));
+    let publisher = Arc::new(SignatureServer::new());
+    let server = NetServer::spawn(
+        collector.clone(),
+        publisher.clone(),
+        bind,
+        NetConfig::default(),
+    )
+    .map_err(|e| format!("cannot bind {bind}: {e}"))?;
+    println!(
+        "listening on {} (LEAKBATCH/1 ingest, SYNC distribution)",
+        server.addr()
+    );
+    if batches > 0 {
+        println!("will exit after {batches} acked batches");
+    }
+
+    let mut last_regen = 0u64;
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let s = server.stats();
+        if regen_every > 0 && s.batches.saturating_sub(last_regen) >= regen_every {
+            last_regen = s.batches;
+            print!("regeneration at {} batches: ", s.batches);
+            report_regen(&collector.regenerate(n, &publisher), &publisher);
+        }
+        if batches > 0 && s.batches >= batches {
+            break;
+        }
+    }
+    let net = server.shutdown();
+    print!("final regeneration: ");
+    report_regen(&collector.regenerate(n, &publisher), &publisher);
+    if let Some(out) = args.optional("sigs-out") {
+        match publisher.fetch(0) {
+            Some((version, text)) => {
+                std::fs::write(out, &text).map_err(|e| format!("cannot write {out}: {e}"))?;
+                println!("wrote v{version} signature set to {out}");
+            }
+            None => println!("no signature set published; {out} not written"),
+        }
+    }
+
+    let s = collector.stats();
+    println!(
+        "\nlistener: {} accepted, {} shed, {} batches ({} records), \
+         {} sync answered ({} current), {} B in, {} B out",
+        net.accepted,
+        net.accept_shed,
+        net.batches,
+        net.batch_packets,
+        net.sync_sent + net.sync_current,
+        net.sync_current,
+        net.bytes_in,
+        net.bytes_out
+    );
+    println!(
+        "closes: {} clean, {} aborted, {} rejected, {} stalled, {} idle, {} budget",
+        net.closed_clean,
+        net.aborted,
+        net.rejected,
+        net.evicted_stalled,
+        net.evicted_idle,
+        net.evicted_budget
+    );
+    println!(
+        "intake: {} offered, {} admitted, {} parse-rejected, {} quarantined, \
+         {} rate-limited, {} shed",
+        s.raw_seen, s.admitted, s.parse_rejects, s.quarantined, s.rate_limited, s.shed
+    );
+    Ok(0)
+}
+
+/// `send`: upload a capture file to a running collection server over
+/// TCP, batch by batch, optionally misbehaving per a socket-fault plan;
+/// print the per-connection event log.
+pub fn send(args: &Args) -> Result<i32, String> {
+    use leaksig_faults::{SocketFaultKind, SocketFaultPlan};
+    use leaksig_net::{drive_chaos, BatchOutcome, BatchRecord, NetClient, SyncReply};
+
+    let addr: std::net::SocketAddr = args
+        .required("addr")
+        .map_err(|e| e.to_string())?
+        .parse()
+        .map_err(|e| format!("--addr: {e}"))?;
+    let records = capture::read_file(args.required("capture").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let batch: usize = args.parsed_or("batch", 64).map_err(|e| e.to_string())?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".to_string());
+    }
+    let seed: u64 = args.parsed_or("seed", 42).map_err(|e| e.to_string())?;
+    let kinds = match args.optional("faults") {
+        Some(list) => SocketFaultKind::parse_list(list)?,
+        None => Vec::new(),
+    };
+    let default_intensity = if kinds.is_empty() { 0.0 } else { 0.3 };
+    let intensity: f64 = args
+        .parsed_or("intensity", default_intensity)
+        .map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&intensity) {
+        return Err(format!("--intensity must be in [0, 1], got {intensity}"));
+    }
+
+    let recs: Vec<BatchRecord> = records
+        .iter()
+        .map(|r| BatchRecord::from_packet(&r.packet))
+        .collect();
+    let batches: Vec<Vec<BatchRecord>> = recs.chunks(batch).map(|c| c.to_vec()).collect();
+    let mut plan = SocketFaultPlan::new(seed, &kinds, intensity);
+    let events = drive_chaos(addr, &mut plan, &batches).map_err(|e| e.to_string())?;
+    for e in &events {
+        println!("{e}");
+    }
+    let (mut acked, mut admitted) = (0u64, 0u64);
+    for e in &events {
+        if let BatchOutcome::Acked(a) = &e.outcome {
+            acked += 1;
+            admitted += a.admitted;
+        }
+    }
+    println!(
+        "\n{} connections ({} faulty): {} acked, {} records admitted",
+        events.len(),
+        plan.injected(),
+        acked,
+        admitted
+    );
+    if let Some(raw) = args.optional("sync") {
+        let have: u64 = raw.parse().map_err(|_| format!("--sync: bad version {raw:?}"))?;
+        match NetClient::new(addr).sync(have).map_err(|e| e.to_string())? {
+            SyncReply::Current => println!("sync: already current at v{have}"),
+            SyncReply::Installed { version, frame } => {
+                println!("sync: server has v{version} ({} frame bytes)", frame.len())
+            }
+        }
+    }
+    Ok(0)
+}
+
+/// `chaos --net`: the socket-frontier variant — spawn a real loopback
+/// collection server, drive a whole market capture at it under a seeded
+/// connection-fault plan, print the per-connection event log, then prove
+/// the counters reconcile and a device syncs the published set over TCP.
+fn chaos_net(args: &Args, list: &str) -> Result<i32, String> {
+    use leaksig_device::{
+        CollectionServer, IngestConfig, Shed, SignatureServer, SignatureStore, SyncClient,
+    };
+    use leaksig_faults::{SocketFaultKind, SocketFaultPlan};
+    use leaksig_net::{drive_chaos, BatchRecord, NetConfig, NetServer, TcpTransport};
+    use std::sync::Arc;
+
+    let seed: u64 = args.parsed_or("seed", 42).map_err(|e| e.to_string())?;
+    let intensity: f64 = args.parsed_or("intensity", 0.3).map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&intensity) {
+        return Err(format!("--intensity must be in [0, 1], got {intensity}"));
+    }
+    let scale: f64 = args.parsed_or("scale", 0.02).map_err(|e| e.to_string())?;
+    let kinds = SocketFaultKind::parse_list(list)?;
+    let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+    println!(
+        "socket chaos: seed {seed}, faults [{}], intensity {intensity}",
+        labels.join(",")
+    );
+
+    let data = Dataset::generate(MarketConfig::scaled(seed, scale));
+    let check: PayloadCheck<SensitiveKind> = PayloadCheck::new(data.model.device.all_values());
+    let collector = Arc::new(CollectionServer::with_intake(
+        check,
+        PipelineConfig::default(),
+        400,
+        seed,
+        IngestConfig {
+            shed: Shed::Newest,
+            ..IngestConfig::default()
+        },
+    ));
+    let publisher = Arc::new(SignatureServer::new());
+    let config = NetConfig {
+        frame_ms: 150,
+        idle_ms: 400,
+        write_ms: 400,
+        ..NetConfig::default()
+    };
+    let server = NetServer::spawn(collector.clone(), publisher.clone(), "127.0.0.1:0", config)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "loopback server on {}; driving {} packets\n",
+        server.addr(),
+        data.packets.len()
+    );
+
+    let batches: Vec<Vec<BatchRecord>> = data
+        .packets
+        .chunks(32)
+        .map(|c| c.iter().map(|p| BatchRecord::from_packet(&p.packet)).collect())
+        .collect();
+    let mut plan = SocketFaultPlan::new(seed, &kinds, intensity);
+    let events =
+        drive_chaos(server.addr(), &mut plan, &batches).map_err(|e| e.to_string())?;
+    for e in &events {
+        println!("  {e}");
+    }
+
+    print!("\nregeneration: ");
+    report_regen(&collector.regenerate(150, &publisher), &publisher);
+    let store = SignatureStore::new();
+    let mut sync = SyncClient::with_default_policy(TcpTransport::new(server.addr()));
+    let report = sync.sync(&store);
+    println!(
+        "sync over TCP: {:?}; device store at v{}, health {}",
+        report.outcome,
+        store.version(),
+        store.health()
+    );
+
+    let net = server.shutdown();
+    let s = collector.stats();
+    println!(
+        "\nlistener: {} accepted, {} shed, {} batches ({} records), {} B in, {} B out",
+        net.accepted, net.accept_shed, net.batches, net.batch_packets, net.bytes_in, net.bytes_out
+    );
+    println!(
+        "closes: {} clean, {} aborted, {} rejected, {} stalled, {} idle, {} budget",
+        net.closed_clean,
+        net.aborted,
+        net.rejected,
+        net.evicted_stalled,
+        net.evicted_idle,
+        net.evicted_budget
+    );
+    println!(
+        "intake: {} offered, {} admitted, {} parse-rejected, {} quarantined, \
+         {} rate-limited, {} shed",
+        s.raw_seen, s.admitted, s.parse_rejects, s.quarantined, s.rate_limited, s.shed
+    );
+
+    let reconciled = net.accepted == net.closed_total()
+        && s.raw_seen == s.admitted + s.rate_limited + s.parse_rejects + s.shed;
+    let converged = publisher.version() > 0 && store.version() == publisher.version();
+    println!(
+        "\n{} socket faults injected; reconciliation {}; device {}",
+        plan.injected(),
+        if reconciled { "ok" } else { "FAILED" },
+        if converged { "converged" } else { "DID NOT CONVERGE" }
+    );
+    Ok(if reconciled && converged { 0 } else { 1 })
+}
+
 /// `chaos`: drive the full distribution loop under a seeded fault plan
 /// and print the per-attempt event log — a command-line replay of the
 /// chaos soak. Exit code 0 when the device converged to the latest
-/// published version, 1 otherwise.
+/// published version, 1 otherwise. With `--net <kinds|all>` the replay
+/// moves onto real sockets: see [`chaos_net`].
 pub fn chaos(args: &Args) -> Result<i32, String> {
+    if let Some(list) = args.optional("net") {
+        return chaos_net(args, list);
+    }
     use leaksig_device::{
         CollectionServer, FaultyTransport, InProcessTransport, IngestConfig, RateLimit,
         RegenerateOutcome, RegenerationSupervisor, RetryPolicy, SignatureServer, SignatureStore,

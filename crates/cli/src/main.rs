@@ -9,6 +9,8 @@
 //! leaksig-cli lint     --sigs sigs.txt [--format text|json]
 //! leaksig-cli analyze  --sigs sigs.txt [--mode conjunction] [--format text|json]
 //! leaksig-cli analyze  --diff old.txt --new new.txt
+//! leaksig-cli serve    --device device.txt [--bind 127.0.0.1:7341] [--batches 10]
+//! leaksig-cli send     --addr 127.0.0.1:7341 --capture capture.lsc [--faults all]
 //! ```
 //!
 //! The `market` command synthesizes a capture (stand-in for a real
@@ -39,6 +41,9 @@ commands:
             generation diff:              --diff OLD --new NEW [--mode ...]
   chaos     fault-injected sync replay:   [--seed N] [--faults drop,corrupt|all] [--intensity X] [--rounds N]
             raw-intake frontier:          [--ingest garbage,oversize,headerbomb,dupflood,slowdrip|all] [--deadline MS]  (exit 1 unless converged)
+            socket frontier:              [--net chop,stall,reset,garbage,halfframe|all] [--scale X]  (loopback TCP soak, per-connection log)
+  serve     run the TCP collection server: --device FILE [--bind ADDR] [--batches N] [--regen-every N] [--n N] [--sigs-out FILE]
+  send      upload a capture over TCP:    --addr ADDR --capture FILE [--batch N] [--faults chop,...|all] [--intensity X] [--sync VER]
 ";
 
 fn main() {
@@ -74,6 +79,8 @@ fn run(argv: Vec<String>) -> Result<i32, String> {
         "lint" => commands::lint(&args),
         "analyze" => commands::analyze(&args),
         "chaos" => commands::chaos(&args),
+        "serve" => commands::serve(&args),
+        "send" => commands::send(&args),
         other => Err(format!("unknown command {other:?}")),
     }
 }

@@ -101,5 +101,8 @@ pub mod prelude {
         signature_from_cluster, ConjunctionSignature, Field, FieldToken, SignatureConfig,
         SignatureSet,
     };
-    pub use crate::wire::{decode, encode, frame, unframe, FrameError, WireError};
+    pub use crate::wire::{
+        decode, encode, frame, unframe, unframe_partial, FrameError, FrameProgress, WireError,
+        MAX_FRAME_HEADER,
+    };
 }

@@ -209,6 +209,99 @@ pub fn frame(payload: &str) -> Vec<u8> {
     out
 }
 
+/// Longest well-formed `LEAKFRAME/1` header line, newline included:
+/// magic + space + 20-digit length + space + 40 hex digits + `\n`,
+/// rounded up. A stream that reaches this many bytes without a newline
+/// is not a slow header — it is not a header at all.
+pub const MAX_FRAME_HEADER: usize = 96;
+
+/// One step of incremental frame reassembly — see [`unframe_partial`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameProgress<'a> {
+    /// The buffer holds a valid *prefix* of a frame; more bytes are
+    /// needed. `need` is the total frame size (header + payload) once
+    /// the header has been read, `None` while the header itself is
+    /// still arriving. A reassembler can check `need` against its
+    /// buffer budget and reject oversized declarations before
+    /// buffering them.
+    Incomplete {
+        /// Total bytes the complete frame will occupy, when known.
+        need: Option<usize>,
+    },
+    /// A complete, verified frame occupies the first `consumed` bytes
+    /// of the buffer; bytes past `consumed` belong to the next message.
+    Complete {
+        /// The trusted payload.
+        payload: &'a str,
+        /// Bytes of the buffer this frame consumed.
+        consumed: usize,
+    },
+}
+
+/// Incremental (streaming) counterpart of [`unframe`], for frames
+/// arriving over a socket in arbitrary slices.
+///
+/// The contract a connection reassembler needs is the three-way split
+/// this function makes explicit:
+///
+/// * `Ok(Incomplete { .. })` — the bytes so far are a valid prefix of
+///   some frame: **wait for more**. A merely-split frame must never be
+///   treated as an attack.
+/// * `Ok(Complete { payload, consumed })` — a whole frame verified;
+///   trailing bytes (the start of the next message) are untouched.
+/// * `Err(_)` — no continuation of these bytes can ever become a valid
+///   frame: **reject the connection**. Raised as soon as the prefix
+///   diverges from the magic, so a garbage preamble is refused on its
+///   first byte, not after a full buffer of it.
+///
+/// Feeding a whole valid frame yields exactly [`unframe`]'s result; the
+/// proptests below pin that equivalence for every split boundary.
+pub fn unframe_partial(data: &[u8]) -> Result<FrameProgress<'_>, FrameError> {
+    let magic = FRAME_MAGIC.as_bytes();
+    // Reject divergence from the magic immediately, even mid-prefix:
+    // the header must open with `LEAKFRAME/1 ` byte for byte.
+    for (i, &b) in data.iter().take(magic.len() + 1).enumerate() {
+        let want = if i < magic.len() { magic[i] } else { b' ' };
+        if b != want {
+            return Err(FrameError::BadHeader);
+        }
+    }
+    let Some(newline) = data.iter().position(|&b| b == b'\n') else {
+        if data.len() > MAX_FRAME_HEADER {
+            return Err(FrameError::BadHeader);
+        }
+        return Ok(FrameProgress::Incomplete { need: None });
+    };
+    let header = std::str::from_utf8(&data[..newline]).map_err(|_| FrameError::BadHeader)?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some(FRAME_MAGIC) {
+        return Err(FrameError::BadHeader);
+    }
+    let expected: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(FrameError::BadHeader)?;
+    let digest = parts.next().ok_or(FrameError::BadHeader)?;
+    if parts.next().is_some() {
+        return Err(FrameError::BadHeader);
+    }
+
+    let body = newline + 1;
+    let total = body + expected;
+    if data.len() < total {
+        return Ok(FrameProgress::Incomplete { need: Some(total) });
+    }
+    let payload = &data[body..total];
+    if !leaksig_hash::verify_sha1_hex(payload, digest) {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    let payload = std::str::from_utf8(payload).map_err(|_| FrameError::BadUtf8)?;
+    Ok(FrameProgress::Complete {
+        payload,
+        consumed: total,
+    })
+}
+
 /// Verify and strip a transport envelope, returning the trusted payload.
 ///
 /// Never panics on arbitrary input; every mangling of a valid frame maps
@@ -402,6 +495,73 @@ mod tests {
         assert_eq!(
             unframe(b"LEAKFRAME/1 zz da39\npayload"),
             Err(FrameError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn unframe_partial_reassembles_at_every_boundary() {
+        let text = encode(&sample_set());
+        let framed = frame(&text);
+        for cut in 0..framed.len() {
+            match unframe_partial(&framed[..cut]) {
+                Ok(FrameProgress::Incomplete { need }) => {
+                    if let Some(total) = need {
+                        assert_eq!(total, framed.len(), "cut {cut}: wrong need hint");
+                    }
+                }
+                other => panic!("cut {cut}: prefix of a valid frame gave {other:?}"),
+            }
+        }
+        let Ok(FrameProgress::Complete { payload, consumed }) = unframe_partial(&framed) else {
+            panic!("whole frame must complete");
+        };
+        assert_eq!(payload, text);
+        assert_eq!(consumed, framed.len());
+    }
+
+    #[test]
+    fn unframe_partial_leaves_trailing_bytes_for_the_next_message() {
+        let text = encode(&sample_set());
+        let mut two = frame(&text);
+        let first_len = two.len();
+        two.extend_from_slice(&frame(""));
+        let Ok(FrameProgress::Complete { payload, consumed }) = unframe_partial(&two) else {
+            panic!("first frame must complete");
+        };
+        assert_eq!(payload, text);
+        assert_eq!(consumed, first_len);
+        let Ok(FrameProgress::Complete { payload, .. }) = unframe_partial(&two[consumed..]) else {
+            panic!("second frame must complete");
+        };
+        assert_eq!(payload, "");
+    }
+
+    #[test]
+    fn unframe_partial_rejects_garbage_on_the_first_divergent_byte() {
+        // A preamble that is not the magic fails immediately, even as a
+        // single byte — the reassembler never waits on garbage.
+        assert_eq!(unframe_partial(b"X"), Err(FrameError::BadHeader));
+        assert_eq!(unframe_partial(b"\xff\x00junk"), Err(FrameError::BadHeader));
+        // A valid magic with a mangled rest of the header fails once the
+        // newline arrives...
+        assert_eq!(
+            unframe_partial(b"LEAKFRAME/1 zz da39\n"),
+            Err(FrameError::BadHeader)
+        );
+        // ...and a headerless flood fails once it exceeds the cap.
+        let flood = [b' '; MAX_FRAME_HEADER + 1];
+        let mut long = b"LEAKFRAME/1".to_vec();
+        long.extend_from_slice(&flood);
+        assert_eq!(unframe_partial(&long), Err(FrameError::BadHeader));
+        // A checksum mismatch is malformed, not incomplete.
+        let mut framed = frame("hello");
+        let last = framed.len() - 1;
+        framed[last] ^= 0x41;
+        assert_eq!(unframe_partial(&framed), Err(FrameError::ChecksumMismatch));
+        // The empty buffer is simply incomplete.
+        assert_eq!(
+            unframe_partial(b""),
+            Ok(FrameProgress::Incomplete { need: None })
         );
     }
 

@@ -314,6 +314,45 @@ proptest! {
         prop_assert!(unframe(&flipped).is_err(), "bit flip at {} accepted", at);
     }
 
+    /// Streaming reassembly equals whole-buffer unframing for every
+    /// chunking of a valid frame: feeding the frame split at an
+    /// arbitrary boundary (plus trailing bytes from a second message)
+    /// yields Incomplete on every proper prefix and the identical
+    /// payload at completion. A split frame is never mistaken for a
+    /// malformed one.
+    #[test]
+    fn unframe_partial_equals_unframe_under_any_split(
+        set in arb_wire_set(),
+        split_frac in 0.0f64..1.0,
+        trailer in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        use leaksig_core::wire::{unframe_partial, FrameProgress};
+
+        let text = encode(&set);
+        let framed = frame(&text);
+        let whole = unframe(&framed).unwrap();
+
+        // Every proper prefix is Incomplete — including the one at the
+        // drawn split point — and never an error.
+        let split = ((framed.len() - 1) as f64 * split_frac) as usize;
+        for cut in [0, split, framed.len() - 1] {
+            prop_assert!(matches!(
+                unframe_partial(&framed[..cut]),
+                Ok(FrameProgress::Incomplete { .. })
+            ), "prefix of {} bytes misjudged", cut);
+        }
+
+        // With the next message's bytes already buffered behind it, the
+        // frame still decodes identically and consumes exactly itself.
+        let mut buf = framed.clone();
+        buf.extend_from_slice(&trailer);
+        let Ok(FrameProgress::Complete { payload, consumed }) = unframe_partial(&buf) else {
+            return Err(TestCaseError::fail("complete frame did not decode"));
+        };
+        prop_assert_eq!(payload, whole);
+        prop_assert_eq!(consumed, framed.len());
+    }
+
     /// Needle matching agrees with a std oracle on arbitrary inputs.
     #[test]
     fn needle_oracle(hay in proptest::collection::vec(any::<u8>(), 0..200),

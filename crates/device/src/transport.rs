@@ -177,6 +177,12 @@ pub struct RetryPolicy {
     pub max_backoff_ms: u64,
     /// Responses slower than this count as timeouts.
     pub timeout_ms: u64,
+    /// Overall budget for one sync round in logical milliseconds:
+    /// backoffs plus per-attempt waits. A round that would exceed this
+    /// stops with [`SyncOutcome::RetryExhausted`] instead of starting
+    /// another attempt — the cap that keeps a stalled socket from
+    /// hanging a device sync no matter how generous `max_attempts` is.
+    pub overall_deadline_ms: u64,
     /// Seed for the deterministic jitter stream.
     pub jitter_seed: u64,
 }
@@ -188,6 +194,9 @@ impl Default for RetryPolicy {
             base_backoff_ms: 100,
             max_backoff_ms: 5_000,
             timeout_ms: 1_000,
+            // Generous enough that the default policy (8 attempts,
+            // ≤5s backoff, 1s timeout) can never trip it.
+            overall_deadline_ms: 60_000,
             jitter_seed: 0,
         }
     }
@@ -276,6 +285,17 @@ pub enum SyncOutcome {
         /// Attempts consumed.
         attempts: u32,
     },
+    /// The round's logical clock (backoffs + per-attempt waits) reached
+    /// [`RetryPolicy::overall_deadline_ms`] with attempts still
+    /// unspent: a stalled channel must bound *time*, not just attempt
+    /// count. The device keeps its current set and ages one staleness
+    /// generation, exactly as for [`SyncOutcome::Failed`].
+    RetryExhausted {
+        /// Logical milliseconds consumed when the round gave up.
+        elapsed_ms: u64,
+        /// Attempts actually started before the deadline hit.
+        attempts: u32,
+    },
 }
 
 /// Full account of one sync round.
@@ -293,7 +313,10 @@ impl SyncReport {
     /// Whether the round ended with the device current (installed or
     /// confirmed up to date).
     pub fn converged(&self) -> bool {
-        !matches!(self.outcome, SyncOutcome::Failed { .. })
+        !matches!(
+            self.outcome,
+            SyncOutcome::Failed { .. } | SyncOutcome::RetryExhausted { .. }
+        )
     }
 
     /// Count of events matching `tag` (see [`SyncEventKind::tag`]).
@@ -351,18 +374,41 @@ impl<T: Transport> SyncClient<T> {
     }
 
     /// Run one sync round against `store`: retry until the device is
-    /// provably current, a verified newer set installs, or attempts run
-    /// out. A corrupted payload is *never* installed: the envelope
-    /// checksum, the wire parser, and the deploy gate all sit between the
+    /// provably current, a verified newer set installs, attempts run
+    /// out, or the round's overall logical deadline is reached. A
+    /// corrupted payload is *never* installed: the envelope checksum,
+    /// the wire parser, and the deploy gate all sit between the
     /// transport and [`SignatureStore::install`].
+    ///
+    /// Time accounting is logical and conservative: each backoff adds
+    /// its waited milliseconds; a dropped exchange adds a full
+    /// [`RetryPolicy::timeout_ms`] (on a real socket a loss is
+    /// indistinguishable from a stall until the timer fires); a
+    /// delivered response adds its observed latency, capped at the
+    /// timeout. When the *next* attempt's backoff would cross
+    /// [`RetryPolicy::overall_deadline_ms`], the round stops with
+    /// [`SyncOutcome::RetryExhausted`] instead of starting it.
     pub fn sync(&mut self, store: &SignatureStore) -> SyncReport {
         let from = store.version();
         let mut events = Vec::new();
         let mut total_backoff_ms = 0u64;
+        let mut elapsed_ms = 0u64;
 
         for attempt in 1..=self.policy.max_attempts.max(1) {
             let backoff_ms = self.backoff_before(attempt);
+            if elapsed_ms.saturating_add(backoff_ms) > self.policy.overall_deadline_ms {
+                store.note_sync_failure();
+                return SyncReport {
+                    outcome: SyncOutcome::RetryExhausted {
+                        elapsed_ms,
+                        attempts: attempt - 1,
+                    },
+                    events,
+                    total_backoff_ms,
+                };
+            }
             total_backoff_ms += backoff_ms;
+            elapsed_ms += backoff_ms;
             let mut push = |kind: SyncEventKind| {
                 events.push(SyncEvent {
                     attempt,
@@ -374,6 +420,7 @@ impl<T: Transport> SyncClient<T> {
             let fetched = match self.transport.fetch(store.version()) {
                 Err(TransportError::Dropped) => {
                     push(SyncEventKind::Dropped);
+                    elapsed_ms += self.policy.timeout_ms;
                     continue;
                 }
                 Ok(None) => {
@@ -387,6 +434,7 @@ impl<T: Transport> SyncClient<T> {
                 }
                 Ok(Some(f)) => f,
             };
+            elapsed_ms += fetched.latency_ms.min(self.policy.timeout_ms);
 
             if fetched.latency_ms > self.policy.timeout_ms {
                 push(SyncEventKind::TimedOut {
@@ -618,6 +666,93 @@ mod tests {
         assert_eq!(report.outcome, SyncOutcome::Failed { attempts: 4 });
         assert_eq!(report.count("timeout"), 4);
         assert_eq!(store.health(), crate::StoreHealth::Empty);
+    }
+
+    #[test]
+    fn overall_deadline_stops_a_stalled_channel() {
+        // A channel that drops every exchange, with an attempt budget
+        // far beyond what the deadline allows: the per-attempt timeout
+        // (1s each) plus growing backoff must hit the 3.5s overall
+        // deadline long before the 1000 attempts run out.
+        struct BlackHole;
+        impl Transport for BlackHole {
+            fn fetch(&mut self, _: u64) -> Result<Option<Fetched>, TransportError> {
+                Err(TransportError::Dropped)
+            }
+        }
+        let store = SignatureStore::new();
+        let mut client = SyncClient::new(
+            BlackHole,
+            RetryPolicy {
+                max_attempts: 1000,
+                overall_deadline_ms: 3_500,
+                jitter_seed: 5,
+                ..RetryPolicy::default()
+            },
+        );
+        let report = client.sync(&store);
+        let SyncOutcome::RetryExhausted {
+            elapsed_ms,
+            attempts,
+        } = report.outcome
+        else {
+            panic!("expected RetryExhausted, got {:?}", report.outcome);
+        };
+        assert!(!report.converged());
+        assert!(elapsed_ms <= 3_500, "elapsed {elapsed_ms} past deadline");
+        assert!(
+            (1..1000).contains(&attempts),
+            "deadline, not attempts, must be the binding constraint (got {attempts})"
+        );
+        assert_eq!(attempts as usize, report.events.len());
+        assert_eq!(store.health(), crate::StoreHealth::Empty);
+
+        // Failure ages the staleness ledger exactly like Failed does.
+        let server = SignatureServer::new();
+        server.publish(&one_set()).unwrap();
+        let ok_store = SignatureStore::new();
+        let mut ok_client = SyncClient::with_default_policy(InProcessTransport::new(&server));
+        assert!(ok_client.sync(&ok_store).converged());
+        let mut stalled = SyncClient::new(
+            BlackHole,
+            RetryPolicy {
+                max_attempts: 1000,
+                overall_deadline_ms: 3_500,
+                ..RetryPolicy::default()
+            },
+        );
+        let before = ok_store.version();
+        assert!(!stalled.sync(&ok_store).converged());
+        assert_eq!(ok_store.version(), before, "no regression on exhaustion");
+        assert_eq!(ok_store.health(), crate::StoreHealth::Stale { rounds: 1 });
+    }
+
+    #[test]
+    fn default_policy_never_trips_its_own_deadline() {
+        // The default budget must exceed the worst case the default
+        // policy can spend: max backoff curve with full jitter plus a
+        // full timeout per attempt.
+        let policy = RetryPolicy::default();
+        let worst_backoff: u64 = (1..=policy.max_attempts)
+            .map(|a| {
+                if a <= 1 {
+                    0
+                } else {
+                    let base = policy
+                        .base_backoff_ms
+                        .saturating_mul(1u64 << (a - 2).min(32))
+                        .min(policy.max_backoff_ms);
+                    base + base / 2
+                }
+            })
+            .sum();
+        let worst = worst_backoff + policy.max_attempts as u64 * policy.timeout_ms;
+        assert!(
+            worst <= policy.overall_deadline_ms,
+            "default deadline {} cannot cover worst case {}",
+            policy.overall_deadline_ms,
+            worst
+        );
     }
 
     #[test]

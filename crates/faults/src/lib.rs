@@ -20,7 +20,10 @@
 //!   persistence write (see `leaksig-device::persist`);
 //! * [`ingest`] — the *inbound* taxonomy: what raw mobile traffic does to
 //!   a collection server's intake (garbage bytes, oversized declarations,
-//!   header bombs, duplicate floods, slow-drip truncation).
+//!   header bombs, duplicate floods, slow-drip truncation);
+//! * [`socket`] — the *connection-level* taxonomy: what a real TCP peer
+//!   does to a listening collection server (chopped writes, mid-frame
+//!   stalls, abrupt resets, garbage preambles, half-frame disconnects).
 //!
 //! Everything here is *logical*: delays are millisecond numbers carried in
 //! the result, never real sleeps, so chaos tests run at full speed and
@@ -30,8 +33,10 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 pub mod ingest;
+pub mod socket;
 
 pub use ingest::{apply_ingest_fault, IngestFault, IngestFaultKind, IngestFaultPlan};
+pub use socket::{garbage_preamble, SocketFault, SocketFaultKind, SocketFaultPlan};
 
 /// A class of injectable transport fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

@@ -1,0 +1,315 @@
+//! Socket-level fault taxonomy: what a real TCP peer does to a
+//! collection server's connections.
+//!
+//! The transport faults in the crate root mangle whole *exchanges*; the
+//! ingest faults mangle whole *wire images*. Neither captures what an
+//! actual socket sees: bytes arrive in arbitrary slices, clients stall
+//! mid-frame for minutes (slowloris), connections die abruptly with
+//! unsent halves of frames in flight, and some peers open a connection
+//! only to speak garbage. Each [`SocketFaultKind`] is one of those
+//! connection-level behaviours; a [`SocketFaultPlan`] draws a seeded
+//! schedule of them — one draw per *connection* — so a chaos soak over a
+//! real loopback listener replays identically from its seed.
+//!
+//! The plan itself is pure and deterministic (no sleeps, no I/O). The
+//! component that *applies* a drawn fault to a live stream — chunked
+//! writes, real stalls, abrupt closes — lives with the TCP client
+//! (`leaksig-net`), keeping this crate free of wall-clock behaviour.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A class of injectable connection-level fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SocketFaultKind {
+    /// The payload is written in tiny chunks so the server's reads are
+    /// partial: every frame arrives split across arbitrary boundaries.
+    Chop,
+    /// The client sends a frame prefix, then goes silent mid-frame for
+    /// longer than any honest pause (the slowloris move).
+    Stall,
+    /// The connection is torn down abruptly mid-frame (RST-style): the
+    /// server sees a read error or EOF with a half frame buffered.
+    Reset,
+    /// Garbage bytes arrive where a frame header should be: the peer
+    /// never speaks the protocol at all.
+    Garbage,
+    /// The client sends a clean prefix of a valid frame and then closes
+    /// politely — a truncated upload, not a protocol violation.
+    HalfFrame,
+}
+
+impl SocketFaultKind {
+    /// Every socket fault kind, in canonical order.
+    pub const ALL: [SocketFaultKind; 5] = [
+        SocketFaultKind::Chop,
+        SocketFaultKind::Stall,
+        SocketFaultKind::Reset,
+        SocketFaultKind::Garbage,
+        SocketFaultKind::HalfFrame,
+    ];
+
+    /// Stable lower-case label (CLI `--net` syntax, event logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            SocketFaultKind::Chop => "chop",
+            SocketFaultKind::Stall => "stall",
+            SocketFaultKind::Reset => "reset",
+            SocketFaultKind::Garbage => "garbage",
+            SocketFaultKind::HalfFrame => "halfframe",
+        }
+    }
+
+    /// Parse one label.
+    pub fn parse(label: &str) -> Option<SocketFaultKind> {
+        SocketFaultKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+
+    /// Parse a comma-separated fault list (`"chop,reset"`). The wildcard
+    /// `"all"` enables every kind. Duplicates are collapsed; order
+    /// follows [`SocketFaultKind::ALL`], not the input.
+    pub fn parse_list(list: &str) -> Result<Vec<SocketFaultKind>, String> {
+        let mut enabled = [false; SocketFaultKind::ALL.len()];
+        for part in list.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if part == "all" {
+                enabled = [true; SocketFaultKind::ALL.len()];
+                continue;
+            }
+            match SocketFaultKind::parse(part) {
+                Some(kind) => enabled[kind as usize] = true,
+                None => {
+                    return Err(format!(
+                        "unknown socket fault {part:?} (expected one of chop, stall, reset, \
+                         garbage, halfframe, all)"
+                    ))
+                }
+            }
+        }
+        Ok(SocketFaultKind::ALL
+            .into_iter()
+            .filter(|k| enabled[*k as usize])
+            .collect())
+    }
+}
+
+impl std::fmt::Display for SocketFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One concrete drawn connection fault, with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketFault {
+    /// Write the payload in chunks of `chunk` bytes each.
+    Chop {
+        /// Bytes per write (≥ 1).
+        chunk: u16,
+    },
+    /// Send `keep_permille`/1000 of the payload, then stay silent for
+    /// `ms` real milliseconds before (attempting to) send the rest.
+    Stall {
+        /// Fraction of the payload sent before the stall, in permille.
+        keep_permille: u16,
+        /// Silence duration in milliseconds; the applier clamps this to
+        /// its own budget, but it always exceeds an honest pause.
+        ms: u64,
+    },
+    /// Send `keep_permille`/1000 of the payload, then tear the
+    /// connection down without shutdown.
+    Reset {
+        /// Fraction of the payload sent before the teardown, in permille.
+        keep_permille: u16,
+    },
+    /// Send `bytes` seeded garbage bytes instead of a frame header.
+    Garbage {
+        /// Garbage byte count (≥ 1).
+        bytes: u16,
+        /// Seed for the garbage content.
+        seed: u64,
+    },
+    /// Send `keep_permille`/1000 of the payload, then close cleanly.
+    HalfFrame {
+        /// Fraction of the payload sent before the close, in permille.
+        keep_permille: u16,
+    },
+}
+
+impl SocketFault {
+    /// The kind of this fault.
+    pub fn kind(self) -> SocketFaultKind {
+        match self {
+            SocketFault::Chop { .. } => SocketFaultKind::Chop,
+            SocketFault::Stall { .. } => SocketFaultKind::Stall,
+            SocketFault::Reset { .. } => SocketFaultKind::Reset,
+            SocketFault::Garbage { .. } => SocketFaultKind::Garbage,
+            SocketFault::HalfFrame { .. } => SocketFaultKind::HalfFrame,
+        }
+    }
+}
+
+/// Seeded garbage bytes for [`SocketFault::Garbage`] preambles. The
+/// first byte is forced outside the ASCII range every frame magic uses,
+/// so a garbage preamble can never masquerade as a valid header prefix.
+pub fn garbage_preamble(seed: u64, bytes: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(bytes.max(1));
+    out.push(rng.random_range(0x80u8..=0xFF));
+    for _ in 1..bytes.max(1) {
+        out.push(rng.random());
+    }
+    out
+}
+
+/// A seeded connection-fault schedule: one draw per connection.
+///
+/// With probability `intensity` the connection suffers a fault, chosen
+/// uniformly among the enabled kinds with parameters drawn from the same
+/// stream. Same seed, same schedule.
+#[derive(Debug, Clone)]
+pub struct SocketFaultPlan {
+    rng: StdRng,
+    kinds: Vec<SocketFaultKind>,
+    intensity: f64,
+    injected: u64,
+}
+
+impl SocketFaultPlan {
+    /// A plan injecting `kinds` with per-connection probability
+    /// `intensity` (clamped to `[0, 1]`), driven by `seed`. An empty
+    /// kind list never fires.
+    pub fn new(seed: u64, kinds: &[SocketFaultKind], intensity: f64) -> Self {
+        let mut uniq: Vec<SocketFaultKind> = Vec::new();
+        for &k in kinds {
+            if !uniq.contains(&k) {
+                uniq.push(k);
+            }
+        }
+        SocketFaultPlan {
+            rng: StdRng::seed_from_u64(seed),
+            kinds: uniq,
+            intensity: intensity.clamp(0.0, 1.0),
+            injected: 0,
+        }
+    }
+
+    /// A plan injecting every socket fault kind.
+    pub fn chaos(seed: u64, intensity: f64) -> Self {
+        SocketFaultPlan::new(seed, &SocketFaultKind::ALL, intensity)
+    }
+
+    /// Decide the fate of the next connection: `None` = behave honestly.
+    pub fn next_action(&mut self) -> Option<SocketFault> {
+        if self.kinds.is_empty() || !self.rng.random_bool(self.intensity) {
+            return None;
+        }
+        let kind = self.kinds[self.rng.random_range(0..self.kinds.len() as u64) as usize];
+        let fault = match kind {
+            SocketFaultKind::Chop => SocketFault::Chop {
+                chunk: self.rng.random_range(1u16..16),
+            },
+            SocketFaultKind::Stall => SocketFault::Stall {
+                keep_permille: self.rng.random_range(100u16..900),
+                // Always long enough to trip any sane frame deadline,
+                // short enough that a soak stays fast.
+                ms: self.rng.random_range(300u64..600),
+            },
+            SocketFaultKind::Reset => SocketFault::Reset {
+                keep_permille: self.rng.random_range(0u16..950),
+            },
+            SocketFaultKind::Garbage => SocketFault::Garbage {
+                bytes: self.rng.random_range(8u16..256),
+                seed: self.rng.random(),
+            },
+            SocketFaultKind::HalfFrame => SocketFault::HalfFrame {
+                keep_permille: self.rng.random_range(50u16..950),
+            },
+        };
+        self.injected += 1;
+        Some(fault)
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Enabled fault kinds (canonical order, deduplicated).
+    pub fn kinds(&self) -> &[SocketFaultKind] {
+        &self.kinds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_list_mirrors_other_plans() {
+        assert_eq!(
+            SocketFaultKind::parse_list("chop,garbage").unwrap(),
+            vec![SocketFaultKind::Chop, SocketFaultKind::Garbage]
+        );
+        assert_eq!(
+            SocketFaultKind::parse_list("garbage, chop ,garbage,").unwrap(),
+            vec![SocketFaultKind::Chop, SocketFaultKind::Garbage]
+        );
+        assert_eq!(
+            SocketFaultKind::parse_list("all").unwrap(),
+            SocketFaultKind::ALL.to_vec()
+        );
+        assert_eq!(SocketFaultKind::parse_list("").unwrap(), vec![]);
+        assert!(SocketFaultKind::parse_list("chop,sharks").is_err());
+        for kind in SocketFaultKind::ALL {
+            assert_eq!(SocketFaultKind::parse(kind.label()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_respect_kinds() {
+        let mut a = SocketFaultPlan::chaos(17, 0.5);
+        let mut b = SocketFaultPlan::chaos(17, 0.5);
+        let da: Vec<_> = (0..300).map(|_| a.next_action()).collect();
+        let db: Vec<_> = (0..300).map(|_| b.next_action()).collect();
+        assert_eq!(da, db);
+        assert!(a.injected() > 0, "intensity 0.5 over 300 draws must fire");
+        let mut c = SocketFaultPlan::chaos(18, 0.5);
+        let dc: Vec<_> = (0..300).map(|_| c.next_action()).collect();
+        assert_ne!(da, dc, "different seed, different schedule");
+
+        let mut only = SocketFaultPlan::new(3, &[SocketFaultKind::Reset], 1.0);
+        for _ in 0..50 {
+            let f = only.next_action().expect("intensity 1.0 always fires");
+            assert_eq!(f.kind(), SocketFaultKind::Reset);
+        }
+        let mut quiet = SocketFaultPlan::new(3, &[], 1.0);
+        assert_eq!(quiet.next_action(), None);
+    }
+
+    #[test]
+    fn stalls_always_outlast_honest_pauses() {
+        let mut plan = SocketFaultPlan::new(5, &[SocketFaultKind::Stall], 1.0);
+        for _ in 0..100 {
+            let Some(SocketFault::Stall { ms, keep_permille }) = plan.next_action() else {
+                panic!("stall-only plan must draw stalls");
+            };
+            assert!((300..600).contains(&ms));
+            assert!((100..900).contains(&keep_permille));
+        }
+    }
+
+    #[test]
+    fn garbage_preamble_is_seeded_and_never_a_header_prefix() {
+        let a = garbage_preamble(9, 64);
+        let b = garbage_preamble(9, 64);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        assert!(a[0] >= 0x80, "first byte must leave ASCII");
+        assert_ne!(garbage_preamble(10, 64), a);
+        assert_eq!(garbage_preamble(9, 0).len(), 1, "at least one byte");
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+//! `leaksig-net` — the collection frontier over real TCP.
+//!
+//! The paper's Fig. 3 puts a collection server between devices and the
+//! signature pipeline; earlier layers modeled that boundary in-process
+//! ([`leaksig_device::CollectionServer`] for intake,
+//! [`leaksig_device::Transport`] for distribution). This crate gives the
+//! boundary real sockets, built from `std::net` alone — no async
+//! runtime, no platform poller:
+//!
+//! * [`proto`] — the wire grammar: `LEAKBATCH/1` checksummed batch
+//!   envelopes for packet ingest, `SYNC`/`ACK`/`ERR`/`BUSY`/`VERSION`
+//!   control lines, all decodable from arbitrary read slices.
+//! * [`conn`] — the per-connection state machine: incremental message
+//!   extraction, deadline bookkeeping, terminal close reasons.
+//! * [`server`] — [`NetServer`]: a non-blocking event loop with
+//!   connection caps (accept-shed `BUSY`), per-connection and global
+//!   buffer budgets, idle/frame/write deadlines (slowloris eviction),
+//!   and drain-then-close shutdown. Complete batches flow into the
+//!   hardened [`leaksig_device::CollectionServer::ingest_raw`] path —
+//!   token bucket, quarantine, shed policy — unchanged.
+//! * [`client`] — [`NetClient`] (blocking uploader/sync peer),
+//!   [`TcpTransport`] (plugs real TCP into the retrying
+//!   [`leaksig_device::SyncClient`]), and [`drive_chaos`]: the
+//!   wall-clock applier for [`leaksig_faults::SocketFaultPlan`] — a
+//!   seeded schedule of chopped writes, mid-frame stalls, abrupt
+//!   resets, garbage preambles, and half-frame hangups, driven
+//!   sequentially so a whole soak replays deterministically.
+//!
+//! ```no_run
+//! use leaksig_core::payload::PayloadCheck;
+//! use leaksig_core::prelude::*;
+//! use leaksig_device::{CollectionServer, SignatureServer};
+//! use leaksig_net::{BatchRecord, NetClient, NetConfig, NetServer};
+//! use std::sync::Arc;
+//!
+//! let check: PayloadCheck<&str> = PayloadCheck::new([("imei", "355195000000017")]);
+//! let collector = Arc::new(CollectionServer::new(
+//!     check, PipelineConfig::default(), 400, 7,
+//! ));
+//! let publisher = Arc::new(SignatureServer::new());
+//! let server = NetServer::spawn(
+//!     collector.clone(), publisher, "127.0.0.1:0", NetConfig::default(),
+//! ).unwrap();
+//!
+//! let client = NetClient::new(server.addr());
+//! let records: Vec<BatchRecord> = Vec::new(); // captured wire images
+//! client.send_batch(&records, None).unwrap();
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod conn;
+pub mod proto;
+pub mod server;
+
+pub use client::{
+    drive_chaos, Ack, BatchOutcome, ClientError, ConnEvent, NetClient, SyncReply, TcpTransport,
+};
+pub use conn::{CloseReason, Inbound, Step};
+pub use proto::{encode_batch, BatchError, BatchRecord, Reply, BATCH_MAGIC};
+pub use server::{NetConfig, NetServer, NetStats};

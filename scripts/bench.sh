@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Benchmark runner: detection + NCD (`detect`), raw-intake (`ingest`),
-# and regeneration matrix/pass cost (`regen`).
+# regeneration matrix/pass cost (`regen`), and loopback-TCP
+# collection-server throughput (`net`).
 #
 # Default (quick mode): runs each bench binary at its full configured
 # scale with a reduced sample count, collects the criterion shim's JSONL
@@ -25,6 +26,8 @@ if [[ "$MODE" == "smoke" ]]; then
     export LEAKSIG_BENCH_SIGS=8
     export LEAKSIG_BENCH_INGEST=200
     export LEAKSIG_BENCH_REGEN_SIZES=60
+    export LEAKSIG_BENCH_NET=200
+    export LEAKSIG_BENCH_NET_CONNS=2
     export CRITERION_SAMPLES=3
     REGEN_SAMPLES=3
 else
@@ -59,6 +62,7 @@ run_bench() {
 
 run_bench detect
 run_bench ingest
+run_bench net
 CRITERION_SAMPLES="$REGEN_SAMPLES" run_bench regen
 
 if [[ "$MODE" == "smoke" ]]; then
@@ -73,10 +77,15 @@ if [[ "$MODE" == "smoke" ]]; then
         echo "smoke: expected >=2 ingest rows, got $INGEST_ROWS" >&2
         exit 1
     fi
+    NET_ROWS=$(grep -c '"group":"net"' "$OUTDIR/BENCH_net.json")
+    if [[ "$NET_ROWS" -lt 2 ]]; then
+        echo "smoke: expected >=2 net rows, got $NET_ROWS" >&2
+        exit 1
+    fi
     REGEN_ROWS=$(grep -c '"group":"regen"' "$OUTDIR/BENCH_regen.json")
     if [[ "$REGEN_ROWS" -lt 3 ]]; then
         echo "smoke: expected >=3 regen rows, got $REGEN_ROWS" >&2
         exit 1
     fi
-    echo "smoke: ok ($ROWS detect rows, $INGEST_ROWS ingest rows, $REGEN_ROWS regen rows)"
+    echo "smoke: ok ($ROWS detect rows, $INGEST_ROWS ingest rows, $NET_ROWS net rows, $REGEN_ROWS regen rows)"
 fi

@@ -23,6 +23,9 @@ CHAOS_SEEDS="$CHAOS_SEEDS" cargo test --quiet --test chaos
 echo "==> ingest chaos soak (seeds ${CHAOS_SEEDS})"
 CHAOS_SEEDS="$CHAOS_SEEDS" cargo test --quiet --test ingest_chaos
 
+echo "==> net chaos soak (seeds ${CHAOS_SEEDS})"
+CHAOS_SEEDS="$CHAOS_SEEDS" cargo test --quiet --test net_chaos
+
 # Semantic analyze gate: generate two consecutive signature generations
 # and require the analyzer to prove the shipped set free of dead/FP
 # signatures (exit 1 on any proved finding fails the gate via set -e),

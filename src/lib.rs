@@ -20,6 +20,7 @@
 //! | [`netsim`] | `leaksig-netsim` | synthetic Android-market traffic generator |
 //! | [`device`] | `leaksig-device` | signature store, policy engine, packet gate, resilient sync client |
 //! | [`faults`] | `leaksig-faults` | seeded deterministic fault injection (drops, corruption, crash points) |
+//! | [`net`] | `leaksig-net` | non-blocking TCP collection frontier: batch ingest, sync, chaos client |
 //! | [`compress`] | `leaksig-compress` | LZSS/LZW compressors, NCD |
 //! | [`textdist`] | `leaksig-textdist` | edit distance, suffix automaton, token extraction |
 //! | [`hash`] | `leaksig-hash` | MD5, SHA-1, hex |
@@ -57,6 +58,7 @@ pub use leaksig_device as device;
 pub use leaksig_faults as faults;
 pub use leaksig_hash as hash;
 pub use leaksig_http as http;
+pub use leaksig_net as net;
 pub use leaksig_netsim as netsim;
 pub use leaksig_textdist as textdist;
 
