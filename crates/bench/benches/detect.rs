@@ -12,7 +12,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use leaksig_compress::{ncd, Lzss};
 use leaksig_core::prelude::*;
-use leaksig_http::{HttpPacket, RequestBuilder};
+use leaksig_http::{
+    parse_request_view, HttpPacket, ParseArena, ParseLimits, RequestBuilder, ViewOutcome,
+};
 use leaksig_netsim::{Dataset, MarketConfig};
 use std::hint::black_box;
 use std::net::Ipv4Addr;
@@ -120,6 +122,66 @@ fn bench_detect(c: &mut Criterion) {
     });
     g.bench_function(&label("compiled_scan_parallel"), |b| {
         b.iter(|| black_box(detector.scan_refs(&refs)))
+    });
+
+    // Zero-copy rows: the same traffic as raw wire images, scanned
+    // through borrowed packet views instead of owned `HttpPacket`s.
+    let limits = ParseLimits::default();
+    let raws: Vec<Vec<u8>> = packets.iter().map(|p| p.to_bytes()).collect();
+    let records: Vec<RawPacket<'_>> = raws
+        .iter()
+        .zip(&packets)
+        .map(|(raw, p)| RawPacket {
+            raw,
+            ip: p.destination.ip,
+            port: p.destination.port,
+        })
+        .collect();
+
+    // Parity precheck: the zero-copy batch path must agree with naive.
+    let zc: Vec<bool> = detector
+        .scan_batch(&records, &limits)
+        .iter()
+        .map(|v| {
+            assert!(!v.parse_failed, "builder wire images must parse");
+            v.matched.is_some()
+        })
+        .collect();
+    assert_eq!(zc, naive, "zero-copy/naive disagree");
+
+    g.bench_function(&label("zero_copy_scan_1thread"), |b| {
+        // Pre-parsed views: isolates automaton throughput over borrowed
+        // fields, the direct counterpart of `compiled_scan_1thread`.
+        let mut arena = ParseArena::new();
+        let views: Vec<_> = records
+            .iter()
+            .map(|r| match parse_request_view(r.raw, r.ip, r.port, &limits, &mut arena) {
+                Ok(ViewOutcome::View(v)) => v,
+                other => panic!("expected view, got {other:?}"),
+            })
+            .collect();
+        let mut scanner = detector.scanner();
+        b.iter(|| {
+            let mut hits = 0usize;
+            for v in &views {
+                if scanner.scan_view(v).matched.is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function(&label("zero_copy_parse_scan_1thread"), |b| {
+        // Full raw→verdict path: arena-backed parse plus scan, serial.
+        let mut scanner = detector.scanner();
+        b.iter(|| {
+            let verdicts =
+                scanner.scan_batch(records.iter().copied(), &limits);
+            black_box(verdicts.iter().filter(|v| v.matched.is_some()).count())
+        })
+    });
+    g.bench_function(&label("zero_copy_scan_parallel"), |b| {
+        b.iter(|| black_box(detector.scan_batch(&records, &limits)))
     });
     g.finish();
 }

@@ -581,7 +581,7 @@ fn synth_packet(
     };
     let mut headers = Vec::new();
     if !cookie.is_empty() {
-        headers.push(("Cookie".to_string(), join_field(cookie, sep)));
+        headers.push(("Cookie".into(), join_field(cookie, sep)));
     }
     let body_bytes = if body.is_empty() {
         Vec::new()

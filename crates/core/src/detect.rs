@@ -7,9 +7,12 @@
 //! large batch out across cores with scoped threads (mirroring
 //! [`crate::matrix::pairwise`]), one scratch per worker.
 
-use crate::engine::{CompiledDetector, ScanScratch};
-use crate::signature::{ConjunctionSignature, SignatureSet};
-use leaksig_http::HttpPacket;
+use crate::engine::{CompiledDetector, FieldBytes, ScanScratch, SensitiveProbe};
+use crate::signature::{rline_view, ConjunctionSignature, SignatureSet};
+use leaksig_http::{
+    parse_request_limited, HttpPacket, PacketView, ParseArena, ParseLimits, ViewOutcome,
+};
+use std::net::Ipv4Addr;
 use std::sync::Mutex;
 
 /// How a signature is judged against a packet.
@@ -69,6 +72,115 @@ pub struct Explanation {
     pub matched_tokens: Vec<String>,
 }
 
+/// One raw request to scan: wire bytes plus the destination the capture
+/// was headed to.
+#[derive(Debug, Clone, Copy)]
+pub struct RawPacket<'a> {
+    /// The raw request bytes as received.
+    pub raw: &'a [u8],
+    /// Destination IPv4 address.
+    pub ip: Ipv4Addr,
+    /// Destination TCP port.
+    pub port: u16,
+}
+
+/// The verdict for one scanned packet on the zero-copy path: the first
+/// matching signature's wire id, the sensitive-payload tag mask collected
+/// in the same pass, and whether the bytes failed to parse at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanVerdict {
+    /// Wire id of the first matching signature, if any.
+    pub matched: Option<u32>,
+    /// Sensitive-probe tag bitmask (always `0` without a probe; see
+    /// [`Detector::with_probe`]).
+    pub tags: u64,
+    /// The bytes were rejected by the parser: no fields were scanned.
+    pub parse_failed: bool,
+}
+
+impl ScanVerdict {
+    const PARSE_FAILED: ScanVerdict = ScanVerdict {
+        matched: None,
+        tags: 0,
+        parse_failed: true,
+    };
+}
+
+/// A reusable per-thread scanning context over a [`Detector`]'s engine:
+/// automaton scratch, parse arena, and verdict buffer all persist across
+/// calls, so steady-state scanning performs no per-packet allocation.
+/// Obtain one per worker thread via [`Detector::scanner`].
+#[derive(Debug)]
+pub struct PacketScanner<'d> {
+    engine: &'d CompiledDetector,
+    scratch: ScanScratch,
+    arena: ParseArena,
+    verdicts: Vec<ScanVerdict>,
+}
+
+impl PacketScanner<'_> {
+    /// Scan a borrowed packet view (already parsed). Allocation-free.
+    pub fn scan_view(&mut self, view: &PacketView<'_>) -> ScanVerdict {
+        self.scan_fields(FieldBytes::from_view(view))
+    }
+
+    /// Scan pre-extracted field bytes. Allocation-free.
+    pub fn scan_fields(&mut self, fields: FieldBytes<'_>) -> ScanVerdict {
+        let ev = self.engine.verdict(&mut self.scratch, fields);
+        ScanVerdict {
+            matched: ev.first.map(|i| self.engine.wire_id(i as usize)),
+            tags: ev.tags,
+            parse_failed: false,
+        }
+    }
+
+    /// Scan an owned packet (pays one request-line formatting allocation;
+    /// the borrowed entry points are the hot path).
+    pub fn scan_packet(&mut self, packet: &HttpPacket) -> ScanVerdict {
+        let rline = rline_view(packet);
+        self.scan_fields(FieldBytes {
+            rline: rline.as_bytes(),
+            cookie: packet.cookie(),
+            body: &packet.body,
+        })
+    }
+
+    /// Parse raw wire bytes with the zero-copy parser and scan the view.
+    /// Falls back to the owned parser when the view parser reports an
+    /// opaque input (non-UTF-8 request line) — verdicts stay identical to
+    /// the owned path by construction. Parser rejects yield a
+    /// `parse_failed` verdict.
+    pub fn scan_raw(&mut self, raw: &[u8], ip: Ipv4Addr, port: u16, limits: &ParseLimits) -> ScanVerdict {
+        // Views are transient here (dead before the next parse), so the
+        // arena is recycled per call and never grows past one packet.
+        self.arena.reset();
+        match leaksig_http::parse_request_view(raw, ip, port, limits, &mut self.arena) {
+            Ok(ViewOutcome::View(view)) => self.scan_view(&view),
+            Ok(ViewOutcome::Opaque) => match parse_request_limited(raw, ip, port, limits) {
+                Ok(packet) => self.scan_packet(&packet),
+                Err(_) => ScanVerdict::PARSE_FAILED,
+            },
+            Err(_) => ScanVerdict::PARSE_FAILED,
+        }
+    }
+
+    /// Scan a batch of raw records, reusing the scanner's verdict buffer
+    /// (valid until the next call). The streaming entry point for ingest
+    /// loops: batch-amortized O(1) allocations per packet.
+    pub fn scan_batch<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = RawPacket<'a>>,
+        limits: &ParseLimits,
+    ) -> &[ScanVerdict] {
+        self.verdicts.clear();
+        for r in records {
+            let v = self.scan_raw(r.raw, r.ip, r.port, limits);
+            self.verdicts.push(v);
+        }
+        &self.verdicts
+    }
+}
+
 impl Detector {
     /// Compile a signature set for conjunction matching. Construction is
     /// where the multi-pattern automata are built — install/restore time
@@ -79,13 +191,25 @@ impl Detector {
 
     /// Compile a signature set with an explicit match mode.
     pub fn with_mode(set: SignatureSet, mode: MatchMode) -> Self {
+        Self::build(set, mode, None)
+    }
+
+    /// Compile with a sensitive-payload probe folded into the scan pass:
+    /// every [`ScanVerdict`] then carries the probe's tag mask for free
+    /// (single pass over the field bytes — see
+    /// [`crate::payload::PayloadCheck::probe`]).
+    pub fn with_probe(set: SignatureSet, mode: MatchMode, probe: &SensitiveProbe) -> Self {
+        Self::build(set, mode, Some(probe))
+    }
+
+    fn build(set: SignatureSet, mode: MatchMode, probe: Option<&SensitiveProbe>) -> Self {
         if let MatchMode::Fraction(f) = mode {
             assert!(
                 (0.0..=1.0).contains(&f) && f > 0.0,
                 "fraction threshold must be in (0, 1], got {f}"
             );
         }
-        let engine = CompiledDetector::compile(&set, mode);
+        let engine = CompiledDetector::compile_with_probe(&set, mode, probe);
         let scratch = Mutex::new(engine.scratch());
         Detector {
             set,
@@ -93,6 +217,55 @@ impl Detector {
             engine,
             scratch,
         }
+    }
+
+    /// A reusable scanning context borrowing this detector's engine.
+    /// Allocate one per worker thread; every scan call after warmup is
+    /// allocation-free.
+    pub fn scanner(&self) -> PacketScanner<'_> {
+        PacketScanner {
+            engine: &self.engine,
+            scratch: self.engine.scratch(),
+            arena: ParseArena::new(),
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// Batch-scan raw records on the zero-copy path, fanning large
+    /// batches out across cores (contiguous chunks, one scanner per
+    /// worker — the verdict vector is deterministic whatever the thread
+    /// count).
+    pub fn scan_batch(&self, records: &[RawPacket<'_>], limits: &ParseLimits) -> Vec<ScanVerdict> {
+        /// Below this, thread spawn overhead beats the win.
+        const PAR_THRESHOLD: usize = 256;
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        if records.len() < PAR_THRESHOLD || threads < 2 {
+            let mut scanner = self.scanner();
+            return records
+                .iter()
+                .map(|r| scanner.scan_raw(r.raw, r.ip, r.port, limits))
+                .collect();
+        }
+        let mut out = vec![ScanVerdict::PARSE_FAILED; records.len()];
+        let chunk = records.len().div_ceil(threads);
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for (rec_chunk, out_chunk) in records.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                handles.push(scope.spawn(move |_| {
+                    let mut scanner = self.scanner();
+                    for (r, slot) in rec_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = scanner.scan_raw(r.raw, r.ip, r.port, limits);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("scan worker panicked");
+            }
+        })
+        .expect("crossbeam scope");
+        out
     }
 
     /// The underlying signatures.

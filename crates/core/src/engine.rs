@@ -44,7 +44,7 @@
 
 use crate::detect::MatchMode;
 use crate::signature::{rline_view, Field, SignatureSet};
-use leaksig_http::HttpPacket;
+use leaksig_http::{HttpPacket, PacketView};
 use std::collections::HashMap;
 
 /// Number of content fields (request line, cookie, body).
@@ -155,6 +155,20 @@ struct AcNode {
     outputs: Vec<u32>,
 }
 
+/// Disjoint `&mut` / `&` access to two distinct nodes of the arena-style
+/// node vector (the BFS fail-link pass writes the child while reading its
+/// fail target).
+fn two_nodes(nodes: &mut [AcNode], dst: usize, src: usize) -> (&mut AcNode, &AcNode) {
+    debug_assert_ne!(dst, src);
+    if dst < src {
+        let (lo, hi) = nodes.split_at_mut(src);
+        (&mut lo[dst], &hi[0])
+    } else {
+        let (lo, hi) = nodes.split_at_mut(dst);
+        (&mut hi[0], &lo[src])
+    }
+}
+
 /// A multi-pattern matcher over one field's patterns.
 #[derive(Debug, Clone)]
 struct Automaton {
@@ -189,14 +203,16 @@ impl Automaton {
         }
 
         // BFS failure links; flatten suffix outputs as we go (parents are
-        // finalized before children).
+        // finalized before children). Index-based traversal with split
+        // borrows: no per-node clones of edge or output vectors, so build
+        // cost stays linear in automaton size.
         let mut queue = std::collections::VecDeque::new();
         for &(_, child) in &nodes[0].edges {
             queue.push_back(child);
         }
         while let Some(state) = queue.pop_front() {
-            let edges = nodes[state as usize].edges.clone();
-            for (b, child) in edges {
+            for ei in 0..nodes[state as usize].edges.len() {
+                let (b, child) = nodes[state as usize].edges[ei];
                 // Walk fail links of `state` looking for a `b` edge.
                 let mut f = nodes[state as usize].fail;
                 let fail_of_child = loop {
@@ -208,8 +224,12 @@ impl Automaton {
                     }
                 };
                 nodes[child as usize].fail = fail_of_child;
-                let inherited = nodes[fail_of_child as usize].outputs.clone();
-                nodes[child as usize].outputs.extend(inherited);
+                // `fail_of_child` is a strictly shallower state than
+                // `child` (a proper suffix), so the two indices always
+                // differ and a split borrow is safe.
+                debug_assert_ne!(fail_of_child, child);
+                let (dst, src) = two_nodes(&mut nodes, child as usize, fail_of_child as usize);
+                dst.outputs.extend_from_slice(&src.outputs);
                 queue.push_back(child);
             }
         }
@@ -237,15 +257,26 @@ impl Automaton {
 
     /// One linear pass over `hay`; `on_hit(pid, end_pos)` fires for every
     /// occurrence of every pattern (end position = index of its last byte).
+    ///
+    /// The root state carries no outputs (patterns are non-empty), so the
+    /// common no-partial-match position costs exactly one dense-table load
+    /// — the root-resident fast path below skips the node fetch and output
+    /// check entirely while transitions stay at the root.
     fn scan(&self, hay: &[u8], mut on_hit: impl FnMut(u32, usize)) {
         let mut state = 0u32;
         for (pos, &b) in hay.iter().enumerate() {
-            state = self.step(state, b);
-            let node = &self.nodes[state as usize];
-            if !node.outputs.is_empty() {
-                for &pid in &node.outputs {
-                    on_hit(pid, pos);
+            state = if state == 0 {
+                let next = self.root[b as usize];
+                if next == 0 {
+                    continue;
                 }
+                next
+            } else {
+                self.step(state, b)
+            };
+            let node = &self.nodes[state as usize];
+            for &pid in &node.outputs {
+                on_hit(pid, pos);
             }
         }
     }
@@ -321,6 +352,73 @@ struct OrderedStep {
     len: u32,
 }
 
+/// The three content fields of one packet as borrowed byte slices — the
+/// zero-copy scan input. Build one with [`FieldBytes::from_view`] on the
+/// hot path, or field-by-field in tests.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldBytes<'a> {
+    /// `METHOD SP target` request-line bytes (no version suffix).
+    pub rline: &'a [u8],
+    /// First `Cookie` header value, empty when absent.
+    pub cookie: &'a [u8],
+    /// Message body bytes.
+    pub body: &'a [u8],
+}
+
+impl<'a> FieldBytes<'a> {
+    /// The scan fields of a borrowed packet view — pure slice reads, no
+    /// allocation.
+    pub fn from_view(v: &PacketView<'a>) -> Self {
+        FieldBytes {
+            rline: v.rline(),
+            cookie: v.cookie(),
+            body: v.body(),
+        }
+    }
+}
+
+/// Sensitive-payload probe patterns folded into the engine's single pass.
+/// Each `(tag, bytes)` pair routes `bytes` into all three field automata
+/// at a pattern id past the signature range; a hit in any field sets bit
+/// `tag` in the scan's [`EngineVerdict::tags`] mask. Probe hits carry no
+/// signature owners, so they never perturb match verdicts.
+#[derive(Debug, Clone, Default)]
+pub struct SensitiveProbe {
+    patterns: Vec<(u8, Vec<u8>)>,
+}
+
+impl SensitiveProbe {
+    /// Build from `(tag bit, pattern bytes)` pairs. Tag bits must be `< 64`
+    /// (they index a `u64` mask) and patterns non-empty.
+    pub fn new(patterns: Vec<(u8, Vec<u8>)>) -> Self {
+        for (tag, bytes) in &patterns {
+            assert!(*tag < 64, "probe tag bits must fit a u64 mask");
+            assert!(!bytes.is_empty(), "probe patterns must be non-empty");
+        }
+        SensitiveProbe { patterns }
+    }
+
+    /// Number of probe patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the probe set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+}
+
+/// The outcome of one zero-copy scan: the first matching signature (set
+/// index) and the sensitive-payload tag mask collected in the same pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineVerdict {
+    /// Set index of the first matching signature, if any.
+    pub first: Option<u32>,
+    /// Bitmask of sensitive-probe tags that hit any content field.
+    pub tags: u64,
+}
+
 /// A [`SignatureSet`] compiled for high-volume matching. See the module
 /// docs for the layout. Compilation happens once per set — on the device,
 /// once per installed generation, never per packet.
@@ -344,6 +442,11 @@ pub struct CompiledDetector {
     /// Per field: (distinct patterns, total pattern bytes, longest
     /// pattern), recorded at compile time for the static cost report.
     field_stats: [(usize, usize, usize); FIELDS],
+    /// First probe pattern id: hits at or past this id set tag bits
+    /// instead of signature counters.
+    probe_base: u32,
+    /// Per probe pattern (id − `probe_base`): the tag bit it sets.
+    probe_tags: Vec<u8>,
 }
 
 /// Static cost of one field's compiled matcher, reported by
@@ -386,12 +489,15 @@ pub struct ScanScratch {
     positions: Vec<Vec<u32>>,
     /// Ordered mode: epoch of each pattern's position list.
     pos_epoch: Vec<u32>,
+    /// Sensitive-probe tag bits collected this packet.
+    tag_mask: u64,
 }
 
 impl ScanScratch {
     fn begin(&mut self) {
         self.touched.clear();
         self.candidates.clear();
+        self.tag_mask = 0;
         if self.epoch == u32::MAX {
             // Epoch wrap: hard-reset all stamps (once per 4G packets).
             self.epoch = 0;
@@ -408,6 +514,18 @@ impl CompiledDetector {
     /// compiled form is self-contained (pattern bytes are copied into the
     /// automata).
     pub fn compile(set: &SignatureSet, mode: MatchMode) -> Self {
+        Self::compile_with_probe(set, mode, None)
+    }
+
+    /// Compile with an optional sensitive-payload probe folded into the
+    /// same per-field automata: the single scan pass then yields both the
+    /// signature verdict and the probe tag mask (see [`EngineVerdict`]),
+    /// so sensitivity classification stops re-walking field bytes.
+    pub fn compile_with_probe(
+        set: &SignatureSet,
+        mode: MatchMode,
+        probe: Option<&SensitiveProbe>,
+    ) -> Self {
         // 1. Token registry: distinct (field, bytes) → pattern id.
         let mut registry: HashMap<(usize, &[u8]), u32> = HashMap::new();
         let mut pattern_bytes: Vec<(usize, Vec<u8>)> = Vec::new();
@@ -472,10 +590,23 @@ impl CompiledDetector {
             }
         }
 
-        // 3. Per-field matchers.
+        // 3. Per-field matchers. Probe patterns ride in the same automata
+        // at ids past the signature registry: they have no owners, only a
+        // tag bit, and apply to every field (a sensitive value can leak
+        // through any of them).
         let mut per_field: [Vec<(&[u8], u32)>; FIELDS] = Default::default();
         for (pid, (f, bytes)) in pattern_bytes.iter().enumerate() {
             per_field[*f].push((bytes.as_slice(), pid as u32));
+        }
+        let probe_base = pattern_bytes.len() as u32;
+        let mut probe_tags = Vec::new();
+        if let Some(probe) = probe {
+            for (k, (tag, bytes)) in probe.patterns.iter().enumerate() {
+                probe_tags.push(*tag);
+                for field in &mut per_field {
+                    field.push((bytes.as_slice(), probe_base + k as u32));
+                }
+            }
         }
         let mut field_stats = [(0usize, 0usize, 0usize); FIELDS];
         for (f, patterns) in per_field.iter().enumerate() {
@@ -539,6 +670,8 @@ impl CompiledDetector {
             always,
             ordered_plans,
             field_stats,
+            probe_base,
+            probe_tags,
         }
     }
 
@@ -605,23 +738,41 @@ impl CompiledDetector {
                 Vec::new()
             },
             pos_epoch: vec![0; if self.mode == MatchMode::Ordered { n_pat } else { 0 }],
+            tag_mask: 0,
         }
     }
 
     /// Run the per-field matchers over `packet`, filling counters and (in
-    /// ordered mode) position lists.
+    /// ordered mode) position lists. Owned-path wrapper: formats the
+    /// request-line view (one allocation) and delegates to the borrowed
+    /// core.
     fn scan_fields(&self, s: &mut ScanScratch, packet: &HttpPacket) {
+        let rline = rline_view(packet);
+        self.scan_field_bytes(
+            s,
+            FieldBytes {
+                rline: rline.as_bytes(),
+                cookie: packet.cookie(),
+                body: &packet.body,
+            },
+        );
+    }
+
+    /// The allocation-free scan core: run the per-field matchers over
+    /// borrowed field bytes, filling counters, the probe tag mask, and
+    /// (in ordered mode) position lists.
+    fn scan_field_bytes(&self, s: &mut ScanScratch, fields: FieldBytes<'_>) {
         s.begin();
         let record_positions = self.mode == MatchMode::Ordered;
-        let rline = rline_view(packet);
+        let probe_base = self.probe_base;
         for (f, matcher) in self.matchers.iter().enumerate() {
             if matches!(matcher, FieldMatcher::Empty) {
                 continue;
             }
             let hay: &[u8] = match f {
-                0 => rline.as_bytes(),
-                1 => packet.cookie(),
-                _ => &packet.body,
+                0 => fields.rline,
+                1 => fields.cookie,
+                _ => fields.body,
             };
             let epoch = s.epoch;
             // Split-borrow the scratch so the closure can touch every
@@ -634,9 +785,17 @@ impl CompiledDetector {
                 candidates,
                 positions,
                 pos_epoch,
+                tag_mask,
                 ..
             } = s;
             matcher.scan(hay, |pid, end| {
+                // Probe patterns sit past the signature registry: they
+                // only set a tag bit (idempotent OR, no dedup needed) and
+                // never touch counters or position lists.
+                if pid >= probe_base {
+                    *tag_mask |= 1u64 << self.probe_tags[(pid - probe_base) as usize];
+                    return;
+                }
                 let p = pid as usize;
                 if record_positions {
                     if pos_epoch[p] != epoch {
@@ -701,10 +860,11 @@ impl CompiledDetector {
         }
     }
 
-    /// Indices (set positions) of all matching signatures, ascending.
-    pub fn matched_indices(&self, s: &mut ScanScratch, packet: &HttpPacket) -> Vec<usize> {
-        self.scan_fields(s, packet);
-        let mut out: Vec<usize> = Vec::new();
+    /// Collect all matching set indices from a completed scan into `out`
+    /// (cleared first; ascending, deduped). No allocation once `out` has
+    /// warmed up.
+    fn collect_matches(&self, s: &ScanScratch, out: &mut Vec<u32>) {
+        out.clear();
         match self.mode {
             MatchMode::Fraction(_) => {
                 // A partial hit can clear the threshold, so every touched
@@ -713,7 +873,7 @@ impl CompiledDetector {
                 for i in 0..s.touched.len() {
                     let sidx = s.touched[i] as usize;
                     if self.sig_matches(s, sidx) {
-                        out.push(sidx);
+                        out.push(sidx as u32);
                     }
                 }
             }
@@ -723,17 +883,87 @@ impl CompiledDetector {
                 for i in 0..s.candidates.len() {
                     let sidx = s.candidates[i] as usize;
                     if self.sig_matches(s, sidx) {
-                        out.push(sidx);
+                        out.push(sidx as u32);
                     }
                 }
                 // Vacuous matches: token-free signatures match everything
                 // under conjunction/ordered semantics.
-                out.extend(self.always.iter().map(|&i| i as usize));
+                out.extend_from_slice(&self.always);
             }
         }
         out.sort_unstable();
         out.dedup();
-        out
+    }
+
+    /// Set index of the first matching signature from a completed scan,
+    /// without allocating.
+    fn first_match(&self, s: &ScanScratch) -> Option<u32> {
+        fn consider(best: &mut Option<u32>, i: u32) {
+            if best.is_none_or(|b| i < b) {
+                *best = Some(i);
+            }
+        }
+        let mut best: Option<u32> = None;
+        match self.mode {
+            MatchMode::Fraction(_) => {
+                for &t in &s.touched {
+                    if self.sig_matches(s, t as usize) {
+                        consider(&mut best, t);
+                    }
+                }
+            }
+            MatchMode::Conjunction | MatchMode::Ordered => {
+                for &c in &s.candidates {
+                    if self.sig_matches(s, c as usize) {
+                        consider(&mut best, c);
+                    }
+                }
+                // `always` is built in set order: its first entry is the
+                // smallest vacuous index.
+                if let Some(&a) = self.always.first() {
+                    consider(&mut best, a);
+                }
+            }
+        }
+        best
+    }
+
+    /// Zero-copy scan: one pass over the borrowed field bytes, returning
+    /// the first matching signature and the sensitive-probe tag mask.
+    /// Allocation-free in steady state.
+    pub fn verdict(&self, s: &mut ScanScratch, fields: FieldBytes<'_>) -> EngineVerdict {
+        self.scan_field_bytes(s, fields);
+        EngineVerdict {
+            first: self.first_match(s),
+            tags: s.tag_mask,
+        }
+    }
+
+    /// Zero-copy scan collecting every matching set index (ascending,
+    /// deduped) into the caller's reusable buffer. Returns the
+    /// sensitive-probe tag mask.
+    pub fn matched_into(
+        &self,
+        s: &mut ScanScratch,
+        fields: FieldBytes<'_>,
+        out: &mut Vec<u32>,
+    ) -> u64 {
+        self.scan_field_bytes(s, fields);
+        self.collect_matches(s, out);
+        s.tag_mask
+    }
+
+    /// Wire id of the signature at `set_idx` (set order).
+    pub fn wire_id(&self, set_idx: usize) -> u32 {
+        self.ids[set_idx]
+    }
+
+    /// Indices (set positions) of all matching signatures, ascending.
+    pub fn matched_indices(&self, s: &mut ScanScratch, packet: &HttpPacket) -> Vec<usize> {
+        self.scan_fields(s, packet);
+        let mut out: Vec<u32> = Vec::new();
+        self.collect_matches(s, &mut out);
+        out.into_iter().map(|i| i as usize).collect()
     }
 
     /// Index of the first matching signature (set order), if any.

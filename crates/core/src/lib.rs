@@ -85,8 +85,12 @@ pub mod prelude {
     pub use crate::cluster::{
         agglomerate, agglomerate_legacy_with, agglomerate_with, Dendrogram, Linkage, Merge,
     };
-    pub use crate::detect::{Detection, Detector, Explanation, MatchMode};
-    pub use crate::engine::{CompiledDetector, ScanScratch};
+    pub use crate::detect::{
+        Detection, Detector, Explanation, MatchMode, PacketScanner, RawPacket, ScanVerdict,
+    };
+    pub use crate::engine::{
+        CompiledDetector, EngineVerdict, FieldBytes, ScanScratch, SensitiveProbe,
+    };
     pub use crate::distance::{DistanceConfig, DistanceConvention, PacketDistance, PacketFeatures};
     pub use crate::eval::{tally, Counts, Rates};
     pub use crate::matrix::{pairwise, pairwise_naive, CondensedMatrix};

@@ -114,6 +114,45 @@ impl<T: Copy + Eq> PayloadCheck<T> {
         let bytes = packet.to_bytes();
         self.needles.iter().any(|(_, n)| n.is_in(&bytes))
     }
+
+    /// The distinct tags in this check, in first-appearance order. Index
+    /// in the returned list = the tag's bit in a probe mask.
+    pub fn distinct_tags(&self) -> Vec<T> {
+        let mut tags: Vec<T> = Vec::new();
+        for (tag, _) in &self.needles {
+            if !tags.contains(tag) {
+                tags.push(*tag);
+            }
+        }
+        tags
+    }
+
+    /// Fold this check into the engine's single scan pass: a
+    /// [`SensitiveProbe`] carrying every needle (encoded variants
+    /// included) keyed by tag bit, plus the bit→tag mapping to interpret
+    /// the resulting mask. Panics past 64 distinct tags (the mask is a
+    /// `u64`; real deployments carry a handful of identifier kinds).
+    ///
+    /// Scope note: the probe classifies the three *content fields* the
+    /// engine scans (request line, `Cookie`, body), while
+    /// [`is_suspicious`](Self::is_suspicious) walks the full wire image
+    /// including every header. Identifier leaks in other headers are
+    /// invisible to the probe — the §IV distance and signature layers
+    /// never see those bytes either, so the folded check classifies
+    /// exactly what detection can act on.
+    pub fn probe(&self) -> (crate::engine::SensitiveProbe, Vec<T>) {
+        let tags = self.distinct_tags();
+        assert!(tags.len() <= 64, "probe tag mask is a u64");
+        let patterns = self
+            .needles
+            .iter()
+            .map(|(tag, needle)| {
+                let bit = tags.iter().position(|t| t == tag).unwrap() as u8;
+                (bit, needle.pattern().to_vec())
+            })
+            .collect();
+        (crate::engine::SensitiveProbe::new(patterns), tags)
+    }
 }
 
 #[cfg(test)]

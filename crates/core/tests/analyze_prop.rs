@@ -52,7 +52,7 @@ fn packet_from(rline: &[&[u8]], cookie: &[&[u8]], body: &[&[u8]]) -> HttpPacket 
     let target = format!("/{}", String::from_utf8(join(rline)).unwrap());
     let mut headers = Vec::new();
     if !cookie.is_empty() {
-        headers.push(("Cookie".to_string(), join(cookie)));
+        headers.push(("Cookie".into(), join(cookie)));
     }
     HttpPacket {
         destination: Destination::new(Ipv4Addr::new(198, 51, 100, 9), 80, "prop.example"),

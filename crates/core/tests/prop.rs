@@ -441,6 +441,91 @@ proptest! {
         }
     }
 
+    /// Zero-copy verdicts are byte-identical to the owned path across all
+    /// three match modes: same first-match id and same full match list on
+    /// the wire image of every packet, through both the raw-bytes entry
+    /// point (view parse + scan) and a pre-parsed borrowed view.
+    #[test]
+    fn zero_copy_verdicts_equal_owned_all_modes(
+        set in arb_collision_set(),
+        packets in proptest::collection::vec(arb_collision_packet(), 1..8),
+    ) {
+        let limits = leaksig_http::ParseLimits::UNLIMITED;
+        let modes = [MatchMode::Conjunction, MatchMode::Fraction(0.5), MatchMode::Ordered];
+        for mode in modes {
+            let detector = Detector::with_mode(set.clone(), mode);
+            let mut scanner = detector.scanner();
+            let mut scratch = detector.engine().scratch();
+            let mut matches_buf: Vec<u32> = Vec::new();
+            let mut arena = leaksig_http::ParseArena::new();
+            for p in &packets {
+                let raw = p.to_bytes();
+                let owned_first = detector.match_packet(p).map(|d| d.signature_id);
+                let owned_all = detector.matches_all(p);
+                let v = scanner.scan_raw(&raw, p.destination.ip, p.destination.port, &limits);
+                prop_assert!(!v.parse_failed);
+                prop_assert_eq!(v.matched, owned_first, "{:?}", mode);
+                arena.reset();
+                let view = match leaksig_http::parse_request_view(
+                    &raw, p.destination.ip, p.destination.port, &limits, &mut arena,
+                ).unwrap() {
+                    leaksig_http::ViewOutcome::View(view) => view,
+                    leaksig_http::ViewOutcome::Opaque => {
+                        return Err(TestCaseError::fail("builder output must view-parse"));
+                    }
+                };
+                prop_assert_eq!(scanner.scan_view(&view).matched, owned_first, "{:?}", mode);
+                detector.engine().matched_into(
+                    &mut scratch,
+                    FieldBytes::from_view(&view),
+                    &mut matches_buf,
+                );
+                let ids: Vec<u32> = matches_buf
+                    .iter()
+                    .map(|&i| detector.engine().wire_id(i as usize))
+                    .collect();
+                prop_assert_eq!(ids, owned_all, "{:?}", mode);
+            }
+        }
+    }
+
+    /// The sensitivity probe folded into the engine's single pass agrees
+    /// with a field-scoped `PayloadCheck` oracle (same needles run over
+    /// request line, cookie, and body separately) on every packet — and
+    /// never perturbs the match verdict.
+    #[test]
+    fn probe_fold_equals_field_scoped_payload_check(
+        set in arb_collision_set(),
+        packets in proptest::collection::vec(arb_collision_packet(), 1..8),
+        values in proptest::collection::vec("[ab ]{1,6}", 1..5),
+    ) {
+        let tagged: Vec<(u8, &str)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u8, v.as_str()))
+            .collect();
+        let check: PayloadCheck<u8> = PayloadCheck::new(tagged);
+        let (probe, tags) = check.probe();
+        let plain = Detector::new(set.clone());
+        let probed = Detector::with_probe(set.clone(), MatchMode::Conjunction, &probe);
+        let mut scanner = probed.scanner();
+        let limits = leaksig_http::ParseLimits::UNLIMITED;
+        for p in &packets {
+            let raw = p.to_bytes();
+            let v = scanner.scan_raw(&raw, p.destination.ip, p.destination.port, &limits);
+            prop_assert_eq!(v.matched, plain.match_packet(p).map(|d| d.signature_id));
+            let rline = format!("{} {}", p.request_line.method.as_str(), p.request_line.target);
+            let mut want = 0u64;
+            for hay in [rline.as_bytes(), p.cookie(), &p.body] {
+                for t in check.scan_bytes(hay) {
+                    let bit = tags.iter().position(|&x| x == t).unwrap();
+                    want |= 1 << bit;
+                }
+            }
+            prop_assert_eq!(v.tags, want);
+        }
+    }
+
     /// Rates are bounded for arbitrary consistent counts.
     #[test]
     fn rates_bounded(sens in 1usize..500, norm in 0usize..500,
@@ -464,4 +549,59 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&c.precision()));
         prop_assert!((0.0..=1.0).contains(&c.recall()));
     }
+}
+
+/// `Detector::scan_batch` above the parallel threshold produces the same
+/// verdict vector as a single serial scanner, and classifies malformed
+/// and opaque (non-UTF-8 request line) records exactly like the owned
+/// parser would.
+#[test]
+fn scan_batch_parallel_matches_serial_and_flags_rejects() {
+    use leaksig_core::signature::{signature_from_cluster, SignatureConfig};
+
+    let mk = |slot: &str| {
+        RequestBuilder::get("/ad")
+            .query("imei", "355195000000017")
+            .query("slot", slot)
+            .destination(Ipv4Addr::new(203, 0, 113, 9), 80, "ad-maker.info")
+            .build()
+    };
+    let (a, b) = (mk("1"), mk("2"));
+    let sig = signature_from_cluster(42, &[&a, &b], &SignatureConfig::default()).unwrap();
+    let detector = Detector::new(SignatureSet {
+        signatures: vec![sig],
+    });
+    let limits = leaksig_http::ParseLimits::intake();
+
+    let hit = mk("9").to_bytes();
+    let miss = RequestBuilder::get("/img/cat.png")
+        .destination(Ipv4Addr::new(198, 51, 100, 2), 80, "cdn.example")
+        .build()
+        .to_bytes();
+    let garbage = b"definitely not http\r\n\r\n".to_vec();
+    // Invalid UTF-8 in the request line: exercises the opaque fallback.
+    let opaque = b"GET /\xff\xfe HTTP/1.1\r\nHost: x.example\r\n\r\n".to_vec();
+    let raws: Vec<&[u8]> = vec![&hit, &miss, &garbage, &opaque];
+
+    // Enough records to cross the parallel threshold (256).
+    let records: Vec<RawPacket<'_>> = (0..600)
+        .map(|i| RawPacket {
+            raw: raws[i % raws.len()],
+            ip: Ipv4Addr::new(203, 0, 113, 9),
+            port: 80,
+        })
+        .collect();
+
+    let parallel = detector.scan_batch(&records, &limits);
+    let mut scanner = detector.scanner();
+    let serial = scanner.scan_batch(records.iter().copied(), &limits);
+    assert_eq!(parallel.as_slice(), serial);
+
+    assert_eq!(parallel[0].matched, Some(42), "hit record");
+    assert_eq!(parallel[1].matched, None, "miss record");
+    assert!(parallel[2].parse_failed, "garbage record");
+    assert!(
+        !parallel[3].parse_failed && parallel[3].matched.is_none(),
+        "opaque record falls back to the owned parser"
+    );
 }

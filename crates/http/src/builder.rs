@@ -1,6 +1,6 @@
 //! Fluent construction of [`HttpPacket`]s.
 
-use crate::model::{Destination, HttpPacket, Method, RequestLine};
+use crate::model::{Destination, HeaderName, HttpPacket, Method, RequestLine};
 use crate::query;
 use std::net::Ipv4Addr;
 
@@ -23,7 +23,7 @@ pub struct RequestBuilder {
     path: String,
     query_pairs: Vec<(String, String)>,
     version: String,
-    headers: Vec<(String, Vec<u8>)>,
+    headers: Vec<(HeaderName, Vec<u8>)>,
     body: Vec<u8>,
     form_pairs: Vec<(String, String)>,
     destination: Option<Destination>,
@@ -69,7 +69,7 @@ impl RequestBuilder {
     /// Append a raw header field.
     pub fn header(mut self, name: &str, value: impl AsRef<[u8]>) -> Self {
         self.headers
-            .push((name.to_string(), value.as_ref().to_vec()));
+            .push((HeaderName::new(name), value.as_ref().to_vec()));
         self
     }
 
@@ -116,12 +116,12 @@ impl RequestBuilder {
         };
 
         let mut headers = Vec::with_capacity(self.headers.len() + 3);
-        headers.push(("Host".to_string(), destination.host.clone().into_bytes()));
+        headers.push(("Host".into(), destination.host.clone().into_bytes()));
         headers.extend(self.headers);
 
         let body = if !self.form_pairs.is_empty() && self.body.is_empty() {
             headers.push((
-                "Content-Type".to_string(),
+                "Content-Type".into(),
                 b"application/x-www-form-urlencoded".to_vec(),
             ));
             query::encode_pairs(
@@ -135,7 +135,7 @@ impl RequestBuilder {
         };
         if !body.is_empty() {
             headers.push((
-                "Content-Length".to_string(),
+                "Content-Length".into(),
                 body.len().to_string().into_bytes(),
             ));
         }

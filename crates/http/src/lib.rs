@@ -12,6 +12,9 @@
 //!   (request line, header fields, `Content-Length`-delimited body), and
 //!   [`parse_request_limited`] — the same parser behind hard
 //!   [`ParseLimits`] for untrusted intake paths;
+//! * [`parse_request_view`] — a zero-copy twin of
+//!   [`parse_request_limited`] yielding borrowed [`PacketView`]s whose
+//!   header spans live in a reusable [`ParseArena`] (hot scan paths);
 //! * [`HttpPacket::to_bytes`] — the inverse serializer;
 //! * [`RequestBuilder`] — ergonomic construction for generators and tests;
 //! * [`query`] — `application/x-www-form-urlencoded` encode/decode.
@@ -25,10 +28,12 @@ mod builder;
 mod model;
 mod parse;
 pub mod query;
+mod view;
 
 pub use builder::RequestBuilder;
-pub use model::{Destination, HttpPacket, Method, RequestLine};
+pub use model::{Destination, HeaderName, HttpPacket, Method, RequestLine};
 pub use parse::{parse_request, parse_request_limited, ParseError, ParseLimits};
+pub use view::{parse_request_view, PacketView, ParseArena, ViewOutcome};
 
 #[cfg(test)]
 mod tests {

@@ -3,6 +3,132 @@
 use std::fmt;
 use std::net::Ipv4Addr;
 
+/// Common header-name spellings interned as `&'static str`, so parsing a
+/// typical mobile request allocates nothing for its header names. Exact
+/// (case-sensitive) spellings only: interning must never canonicalize,
+/// because [`HttpPacket::to_bytes`] has to reproduce the wire bytes.
+fn interned_name(s: &str) -> Option<&'static str> {
+    Some(match s {
+        "Host" => "Host",
+        "Cookie" => "Cookie",
+        "Content-Length" => "Content-Length",
+        "Content-Type" => "Content-Type",
+        "User-Agent" => "User-Agent",
+        "Accept" => "Accept",
+        "Accept-Encoding" => "Accept-Encoding",
+        "Accept-Language" => "Accept-Language",
+        "Connection" => "Connection",
+        "Referer" => "Referer",
+        "Cache-Control" => "Cache-Control",
+        "Pragma" => "Pragma",
+        "Authorization" => "Authorization",
+        "Origin" => "Origin",
+        "Range" => "Range",
+        "If-Modified-Since" => "If-Modified-Since",
+        "If-None-Match" => "If-None-Match",
+        "X-Requested-With" => "X-Requested-With",
+        // Lowercase spellings show up in sloppy capture files.
+        "host" => "host",
+        "cookie" => "cookie",
+        "content-length" => "content-length",
+        "content-type" => "content-type",
+        "user-agent" => "user-agent",
+        "accept" => "accept",
+        "connection" => "connection",
+        _ => return None,
+    })
+}
+
+/// A header field name: a static reference for the common set (interned,
+/// allocation-free) or an owned string for everything else. Compares,
+/// hashes, and displays as its string value regardless of representation,
+/// and always preserves the exact spelling as written on the wire.
+#[derive(Debug, Clone)]
+pub struct HeaderName(NameRepr);
+
+#[derive(Debug, Clone)]
+enum NameRepr {
+    Static(&'static str),
+    Owned(Box<str>),
+}
+
+impl HeaderName {
+    /// Intern `name` if it is a common spelling, else copy it.
+    pub fn new(name: &str) -> Self {
+        match interned_name(name) {
+            Some(s) => HeaderName(NameRepr::Static(s)),
+            None => HeaderName(NameRepr::Owned(name.into())),
+        }
+    }
+
+    /// The name as written.
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            NameRepr::Static(s) => s,
+            NameRepr::Owned(s) => s,
+        }
+    }
+
+    /// Whether this name hit the static intern table (diagnostics/tests).
+    pub fn is_interned(&self) -> bool {
+        matches!(self.0, NameRepr::Static(_))
+    }
+}
+
+impl std::ops::Deref for HeaderName {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq for HeaderName {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for HeaderName {}
+
+impl std::hash::Hash for HeaderName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state)
+    }
+}
+
+impl PartialEq<str> for HeaderName {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for HeaderName {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl From<&str> for HeaderName {
+    fn from(s: &str) -> Self {
+        HeaderName::new(s)
+    }
+}
+
+impl From<String> for HeaderName {
+    fn from(s: String) -> Self {
+        match interned_name(&s) {
+            Some(st) => HeaderName(NameRepr::Static(st)),
+            None => HeaderName(NameRepr::Owned(s.into_boxed_str())),
+        }
+    }
+}
+
+impl fmt::Display for HeaderName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Request method. The paper's dataset is GET/POST only; other methods are
 /// preserved verbatim so the parser does not lose information.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -137,7 +263,7 @@ pub struct HttpPacket {
     pub request_line: RequestLine,
     /// Header fields in transmission order, excluding none: `Host` and
     /// `Cookie` appear here like any other field.
-    pub headers: Vec<(String, Vec<u8>)>,
+    pub headers: Vec<(HeaderName, Vec<u8>)>,
     /// Message body (empty for bodiless requests).
     pub body: Vec<u8>,
 }

@@ -13,7 +13,7 @@
 //! is rejected with a classified error before any proportional work or
 //! allocation happens.
 
-use crate::model::{Destination, HttpPacket, Method, RequestLine};
+use crate::model::{Destination, HeaderName, HttpPacket, Method, RequestLine};
 use std::net::Ipv4Addr;
 
 /// Hard resource limits for parsing untrusted request bytes.
@@ -178,9 +178,9 @@ impl std::error::Error for ParseError {}
 /// Returns `Ok(Some((line, rest)))` on success, `Ok(None)` when the input
 /// ends before any terminator, and `Err(())` when the line would exceed
 /// `max_len` bytes.
-type LineAndRest<'a> = Option<(&'a [u8], &'a [u8])>;
+pub(crate) type LineAndRest<'a> = Option<(&'a [u8], &'a [u8])>;
 
-fn take_line_within(input: &[u8], max_len: usize) -> Result<LineAndRest<'_>, ()> {
+pub(crate) fn take_line_within(input: &[u8], max_len: usize) -> Result<LineAndRest<'_>, ()> {
     let window = max_len.saturating_add(2).min(input.len());
     match input[..window].iter().position(|&b| b == b'\n') {
         Some(nl) => {
@@ -199,8 +199,20 @@ fn take_line_within(input: &[u8], max_len: usize) -> Result<LineAndRest<'_>, ()>
     }
 }
 
-fn is_token_byte(b: u8) -> bool {
+pub(crate) fn is_token_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Parse a `Content-Length` value exactly the way the owned parser always
+/// has: lossy-decode, `str::trim`, `parse`. Shared with the zero-copy view
+/// parser so the two paths cannot drift — for valid UTF-8 values (the only
+/// kind real traffic carries) the `Cow` stays borrowed and nothing
+/// allocates until the error path.
+pub(crate) fn parse_content_length(value: &[u8]) -> Result<usize, ParseError> {
+    let text = String::from_utf8_lossy(value);
+    text.trim()
+        .parse()
+        .map_err(|_| ParseError::BadContentLength(text.into_owned()))
 }
 
 /// Parse raw request bytes captured toward `ip:port` into an
@@ -246,7 +258,7 @@ pub fn parse_request_limited(
         version: version.to_string(),
     };
 
-    let mut headers: Vec<(String, Vec<u8>)> = Vec::new();
+    let mut headers: Vec<(HeaderName, Vec<u8>)> = Vec::new();
     let mut line_no = 0usize;
     let body;
     loop {
@@ -282,7 +294,10 @@ pub fn parse_request_limited(
         while value.last() == Some(&b' ') || value.last() == Some(&b'\t') {
             value = &value[..value.len() - 1];
         }
-        headers.push((String::from_utf8_lossy(name).into_owned(), value.to_vec()));
+        // Names passed `is_token_byte`, so they are ASCII — the lossless
+        // str view is free, and common spellings intern without allocating.
+        let name = std::str::from_utf8(name).expect("token bytes are ASCII");
+        headers.push((HeaderName::new(name), value.to_vec()));
         line_no += 1;
     }
 
@@ -291,11 +306,7 @@ pub fn parse_request_limited(
         .find(|(n, _)| n.eq_ignore_ascii_case("Content-Length"))
     {
         Some((_, v)) => {
-            let text = String::from_utf8_lossy(v);
-            let expected: usize = text
-                .trim()
-                .parse()
-                .map_err(|_| ParseError::BadContentLength(text.into_owned()))?;
+            let expected = parse_content_length(v)?;
             // The declaration alone is enough to reject: a dishonest
             // multi-gigabyte Content-Length must not survive to a copy.
             if expected > limits.max_body {
@@ -333,7 +344,7 @@ pub fn parse_request_limited(
 }
 
 /// Extract the FQDN from the `Host` header, dropping any `:port` suffix.
-fn parse_host(headers: &[(String, Vec<u8>)]) -> String {
+fn parse_host(headers: &[(HeaderName, Vec<u8>)]) -> String {
     headers
         .iter()
         .find(|(n, _)| n.eq_ignore_ascii_case("Host"))

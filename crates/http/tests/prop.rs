@@ -3,8 +3,8 @@
 
 use leaksig_faults::{flip_bytes, truncate_bytes};
 use leaksig_http::{
-    parse_request, parse_request_limited, query, Destination, HttpPacket, Method, ParseLimits,
-    RequestBuilder, RequestLine,
+    parse_request, parse_request_limited, parse_request_view, query, Destination, HeaderName,
+    HttpPacket, Method, ParseArena, ParseLimits, RequestBuilder, RequestLine, ViewOutcome,
 };
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
@@ -99,7 +99,7 @@ proptest! {
         dup_rounds in 1usize..3,
         post in any::<bool>(),
     ) {
-        let mut headers: Vec<(String, Vec<u8>)> = vec![("Host".to_string(), host.clone().into_bytes())];
+        let mut headers: Vec<(HeaderName, Vec<u8>)> = vec![("Host".into(), host.clone().into_bytes())];
         // Each name appears `dup_rounds + 1` times with distinct values:
         // the round trip must keep every copy, in order.
         let mut vi = values.iter().cycle();
@@ -107,11 +107,11 @@ proptest! {
             for name in &names {
                 let mut v = vi.next().unwrap().clone();
                 v.extend_from_slice(round.to_string().as_bytes());
-                headers.push((name.clone(), v));
+                headers.push((name.as_str().into(), v));
             }
         }
         if let Some(c) = &cookie {
-            headers.push(("Cookie".to_string(), c.clone().into_bytes()));
+            headers.push(("Cookie".into(), c.clone().into_bytes()));
         }
         let pkt = HttpPacket {
             destination: Destination::new(Ipv4Addr::new(198, 51, 100, 20), 8080, host),
@@ -183,5 +183,70 @@ proptest! {
     fn parser_linewise_garbage(lines in proptest::collection::vec("[ -~]{0,40}", 0..8)) {
         let raw = lines.join("\r\n").into_bytes();
         let _ = parse_request(&raw, Ipv4Addr::LOCALHOST, 80);
+    }
+
+    /// The zero-copy view parser is equivalent to the owned parser on
+    /// arbitrary bytes: accepted views materialise to the identical
+    /// packet, rejects carry the identical error, and `Opaque` (the
+    /// owned-fallback escape hatch) appears only when the request line
+    /// is not valid UTF-8.
+    #[test]
+    fn view_parser_matches_owned_on_garbage(
+        raw in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let limits = ParseLimits::intake();
+        let mut arena = ParseArena::new();
+        let owned = parse_request_limited(&raw, Ipv4Addr::LOCALHOST, 80, &limits);
+        match parse_request_view(&raw, Ipv4Addr::LOCALHOST, 80, &limits, &mut arena) {
+            Ok(ViewOutcome::View(v)) => {
+                prop_assert_eq!(Ok(v.to_packet(&arena)), owned);
+            }
+            Ok(ViewOutcome::Opaque) => {
+                let first_line = raw.split(|&b| b == b'\n').next().unwrap_or(&raw);
+                prop_assert!(std::str::from_utf8(first_line).is_err());
+            }
+            Err(e) => prop_assert_eq!(Err(e), owned),
+        }
+    }
+
+    /// On well-formed wire images the view parser never goes opaque and
+    /// the borrowed fields agree with the owned packet's accessors.
+    #[test]
+    fn view_parser_matches_owned_on_wellformed(
+        qs in proptest::collection::vec((token(), token()), 0..4),
+        host in "[a-z0-9.-]{1,24}",
+        cookie in proptest::option::of("[a-zA-Z0-9=;_-]{1,24}"),
+        body in proptest::option::of(proptest::collection::vec(any::<u8>(), 1..64)),
+        post in any::<bool>(),
+    ) {
+        let path = "/collect";
+        let mut b = if post {
+            RequestBuilder::post(path)
+        } else {
+            RequestBuilder::get(path)
+        };
+        for (k, v) in &qs {
+            b = b.query(k, v);
+        }
+        if let Some(c) = &cookie {
+            b = b.cookie(c);
+        }
+        if let Some(body) = &body {
+            b = b.body(body.clone());
+        }
+        let ip = Ipv4Addr::new(198, 51, 100, 9);
+        let pkt = b.destination(ip, 443, &host).build();
+        let raw = pkt.to_bytes();
+        let mut arena = ParseArena::new();
+        let limits = ParseLimits::UNLIMITED;
+        match parse_request_view(&raw, ip, 443, &limits, &mut arena) {
+            Ok(ViewOutcome::View(v)) => {
+                prop_assert_eq!(v.to_packet(&arena), pkt.clone());
+                prop_assert_eq!(v.cookie(), pkt.cookie());
+                prop_assert_eq!(v.body(), pkt.body.as_slice());
+                prop_assert_eq!(v.host_bytes(), pkt.destination.host.as_bytes());
+            }
+            other => prop_assert!(false, "well-formed image must view-parse, got {:?}", other),
+        }
     }
 }

@@ -9,15 +9,17 @@
 //! is testable byte-by-byte without a socket.
 
 use crate::proto::{
-    decode_batch_partial, parse_sync, BatchProgress, BatchRecord, BATCH_MAGIC, MAX_CONTROL_LINE,
-    SYNC_PREFIX,
+    decode_batch_partial_ref, parse_sync, BatchProgressRef, BatchRecordRef, BATCH_MAGIC,
+    MAX_CONTROL_LINE, SYNC_PREFIX,
 };
 use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
 
-/// A complete client → server message.
+/// A complete client → server message. Batch records borrow the read
+/// buffer they were extracted from (zero-copy): process them before
+/// draining the buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Inbound {
+pub enum Inbound<'a> {
     /// `SYNC <have>`: the device asks for anything newer.
     Sync {
         /// The device's installed version.
@@ -25,14 +27,14 @@ pub enum Inbound {
     },
     /// A decoded `LEAKBATCH/1` envelope.
     Batch {
-        /// The records, in wire order.
-        records: Vec<BatchRecord>,
+        /// The record views, in wire order, borrowing the read buffer.
+        records: Vec<BatchRecordRef<'a>>,
     },
 }
 
 /// One step of the extraction state machine over a read buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Step {
+pub enum Step<'a> {
     /// The buffer holds a valid prefix; wait for more bytes. `need` is
     /// the known total message size, when the header has been seen.
     Wait {
@@ -42,7 +44,7 @@ pub enum Step {
     /// A whole message; `consumed` bytes belong to it.
     Message {
         /// The decoded message.
-        msg: Inbound,
+        msg: Inbound<'a>,
         /// Bytes of the buffer it consumed.
         consumed: usize,
     },
@@ -64,7 +66,7 @@ fn prefix_compatible(buf: &[u8], pat: &[u8]) -> bool {
 /// with one byte buffered, `b"S"` waits (could become `SYNC `), `b"L"`
 /// waits (could become `LEAKBATCH/1 `), `b"X"` rejects immediately —
 /// garbage never earns buffer space beyond its first divergent byte.
-pub fn extract(buf: &[u8], max_body: usize) -> Step {
+pub fn extract(buf: &[u8], max_body: usize) -> Step<'_> {
     if buf.is_empty() {
         return Step::Wait { need: None };
     }
@@ -92,9 +94,9 @@ pub fn extract(buf: &[u8], max_body: usize) -> Step {
         };
     }
     if prefix_compatible(buf, format!("{BATCH_MAGIC} ").as_bytes()) {
-        return match decode_batch_partial(buf, max_body) {
-            Ok(BatchProgress::Incomplete { need }) => Step::Wait { need },
-            Ok(BatchProgress::Complete { records, consumed }) => Step::Message {
+        return match decode_batch_partial_ref(buf, max_body) {
+            Ok(BatchProgressRef::Incomplete { need }) => Step::Wait { need },
+            Ok(BatchProgressRef::Complete { records, consumed }) => Step::Message {
                 msg: Inbound::Batch { records },
                 consumed,
             },
@@ -191,7 +193,7 @@ impl Conn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proto::encode_batch;
+    use crate::proto::{encode_batch, BatchRecord};
     use std::net::Ipv4Addr;
 
     fn rec(i: u8) -> BatchRecord {

@@ -58,5 +58,5 @@ pub use client::{
     drive_chaos, Ack, BatchOutcome, ClientError, ConnEvent, NetClient, SyncReply, TcpTransport,
 };
 pub use conn::{CloseReason, Inbound, Step};
-pub use proto::{encode_batch, BatchError, BatchRecord, Reply, BATCH_MAGIC};
+pub use proto::{encode_batch, BatchError, BatchRecord, BatchRecordRef, Reply, BATCH_MAGIC};
 pub use server::{NetConfig, NetServer, NetStats};

@@ -117,6 +117,32 @@ impl std::fmt::Display for BatchError {
 
 impl std::error::Error for BatchError {}
 
+/// One captured wire image *borrowed* from the receive buffer: the
+/// zero-copy twin of [`BatchRecord`], produced by
+/// [`decode_batch_partial_ref`]. Valid while the buffer it was decoded
+/// from is untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRecordRef<'a> {
+    /// Raw request bytes exactly as captured (untrusted), borrowed from
+    /// the envelope body.
+    pub raw: &'a [u8],
+    /// Capture destination address.
+    pub ip: Ipv4Addr,
+    /// Capture destination port.
+    pub port: u16,
+}
+
+impl BatchRecordRef<'_> {
+    /// Materialise an owned [`BatchRecord`].
+    pub fn to_owned(&self) -> BatchRecord {
+        BatchRecord {
+            raw: self.raw.to_vec(),
+            ip: self.ip,
+            port: self.port,
+        }
+    }
+}
+
 /// Streaming decode state for one batch envelope.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BatchProgress {
@@ -137,6 +163,24 @@ pub enum BatchProgress {
     },
 }
 
+/// Borrowed counterpart of [`BatchProgress`]: record payloads stay in
+/// the receive buffer instead of being copied out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchProgressRef<'a> {
+    /// Valid so far but not all there (see [`BatchProgress::Incomplete`]).
+    Incomplete {
+        /// Total bytes (from the start of the envelope) needed, if known.
+        need: Option<usize>,
+    },
+    /// A whole envelope decoded without copying any payload.
+    Complete {
+        /// The decoded record views, in wire order, borrowing `data`.
+        records: Vec<BatchRecordRef<'a>>,
+        /// Bytes of the buffer consumed by this envelope.
+        consumed: usize,
+    },
+}
+
 /// Incrementally decode a batch envelope from the front of `data`.
 ///
 /// `max_body` bounds the declared body length ([`BatchError::TooLarge`]
@@ -145,6 +189,24 @@ pub enum BatchProgress {
 /// returns `Incomplete` until the full envelope is present, never a
 /// different verdict.
 pub fn decode_batch_partial(data: &[u8], max_body: usize) -> Result<BatchProgress, BatchError> {
+    Ok(match decode_batch_partial_ref(data, max_body)? {
+        BatchProgressRef::Incomplete { need } => BatchProgress::Incomplete { need },
+        BatchProgressRef::Complete { records, consumed } => BatchProgress::Complete {
+            records: records.iter().map(BatchRecordRef::to_owned).collect(),
+            consumed,
+        },
+    })
+}
+
+/// Zero-copy variant of [`decode_batch_partial`]: identical verdicts for
+/// every input (the owned decoder is literally this plus a copy), but
+/// record payloads are returned as slices into `data` — the ingest hot
+/// path hands them straight to the detector without materialising a
+/// `Vec` per record.
+pub fn decode_batch_partial_ref(
+    data: &[u8],
+    max_body: usize,
+) -> Result<BatchProgressRef<'_>, BatchError> {
     let magic = BATCH_MAGIC.as_bytes();
     // Reject divergence from the magic immediately, even mid-prefix.
     for (i, &b) in data.iter().take(magic.len() + 1).enumerate() {
@@ -157,7 +219,7 @@ pub fn decode_batch_partial(data: &[u8], max_body: usize) -> Result<BatchProgres
         if data.len() >= MAX_CONTROL_LINE {
             return Err(BatchError::BadHeader);
         }
-        return Ok(BatchProgress::Incomplete { need: None });
+        return Ok(BatchProgressRef::Incomplete { need: None });
     };
     if newline >= MAX_CONTROL_LINE {
         return Err(BatchError::BadHeader);
@@ -190,7 +252,7 @@ pub fn decode_batch_partial(data: &[u8], max_body: usize) -> Result<BatchProgres
     let body_start = newline + 1;
     let total = body_start + body_len;
     if data.len() < total {
-        return Ok(BatchProgress::Incomplete { need: Some(total) });
+        return Ok(BatchProgressRef::Incomplete { need: Some(total) });
     }
     let body = &data[body_start..total];
     if !leaksig_hash::verify_sha1_hex(body, digest) {
@@ -232,8 +294,8 @@ pub fn decode_batch_partial(data: &[u8], max_body: usize) -> Result<BatchProgres
         if payload_end > body.len() {
             return Err(BatchError::BadRecord);
         }
-        records.push(BatchRecord {
-            raw: body[payload_start..payload_end].to_vec(),
+        records.push(BatchRecordRef {
+            raw: &body[payload_start..payload_end],
             ip,
             port,
         });
@@ -242,7 +304,7 @@ pub fn decode_batch_partial(data: &[u8], max_body: usize) -> Result<BatchProgres
     if pos != body_len {
         return Err(BatchError::BadRecord);
     }
-    Ok(BatchProgress::Complete {
+    Ok(BatchProgressRef::Complete {
         records,
         consumed: total,
     })

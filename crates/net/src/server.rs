@@ -394,28 +394,29 @@ fn sweep_conn<T: Copy + Eq + Send + Sync>(
         match extract(&conn.buf, config.per_conn_buffer) {
             Step::Wait { .. } => break,
             Step::Message { msg, consumed } => {
-                conn.buf.drain(..consumed);
-                conn.msg_start = None;
-                *progress = true;
-                match msg {
+                // Batch records are zero-copy views into `conn.buf`:
+                // ingest and build the reply while the borrow is live,
+                // then drain the consumed prefix and enqueue the reply.
+                let reply: Vec<u8> = match msg {
                     Inbound::Sync { have } => match publisher.fetch(have) {
                         Some((version, text)) => {
                             let mut st = stats.lock();
                             st.sync_sent += 1;
                             drop(st);
-                            conn.push_out(Reply::Version(version).encode().as_bytes());
-                            conn.push_out(&wire::frame(&text));
+                            let mut out = Reply::Version(version).encode().into_bytes();
+                            out.extend_from_slice(&wire::frame(&text));
+                            out
                         }
                         None => {
                             stats.lock().sync_current += 1;
-                            conn.push_out(Reply::Current.encode().as_bytes());
+                            Reply::Current.encode().into_bytes()
                         }
                     },
                     Inbound::Batch { records } => {
                         let (mut admitted, mut rate_limited, mut quarantined, mut shed) =
                             (0u64, 0u64, 0u64, 0u64);
                         for r in &records {
-                            match collector.ingest_raw(&r.raw, r.ip, r.port) {
+                            match collector.ingest_raw(r.raw, r.ip, r.port) {
                                 IngestOutcome::Admitted { .. } => admitted += 1,
                                 IngestOutcome::RateLimited => rate_limited += 1,
                                 IngestOutcome::Quarantined(_) => quarantined += 1,
@@ -426,18 +427,20 @@ fn sweep_conn<T: Copy + Eq + Send + Sync>(
                         st.batches += 1;
                         st.batch_packets += records.len() as u64;
                         drop(st);
-                        conn.push_out(
-                            Reply::Ack {
-                                admitted,
-                                rate_limited,
-                                quarantined,
-                                shed,
-                            }
-                            .encode()
-                            .as_bytes(),
-                        );
+                        Reply::Ack {
+                            admitted,
+                            rate_limited,
+                            quarantined,
+                            shed,
+                        }
+                        .encode()
+                        .into_bytes()
                     }
-                }
+                };
+                conn.buf.drain(..consumed);
+                conn.msg_start = None;
+                *progress = true;
+                conn.push_out(&reply);
             }
             Step::Reject(reason) => {
                 conn.push_out(Reply::Err(reason.to_string()).encode().as_bytes());

@@ -65,13 +65,38 @@ run_bench ingest
 run_bench net
 CRITERION_SAMPLES="$REGEN_SAMPLES" run_bench regen
 
+# median_ns <file> <bench-name>: pull one row's median from a baseline.
+median_ns() {
+    sed -n 's/.*"bench":"'"$2"'","median_ns":\([0-9]*\).*/\1/p' "$1"
+}
+
 if [[ "$MODE" == "smoke" ]]; then
     # The harness must have produced the expected rows in each baseline.
     ROWS=$(grep -c '"group":"detect"' "$OUTDIR/BENCH_detect.json")
-    if [[ "$ROWS" -lt 3 ]]; then
-        echo "smoke: expected >=3 detect rows, got $ROWS" >&2
+    if [[ "$ROWS" -lt 6 ]]; then
+        echo "smoke: expected >=6 detect rows, got $ROWS" >&2
         exit 1
     fi
+    ZC_ROWS=$(grep -c '"bench":"zero_copy_' "$OUTDIR/BENCH_detect.json")
+    if [[ "$ZC_ROWS" -lt 3 ]]; then
+        echo "smoke: expected >=3 zero_copy detect rows, got $ZC_ROWS" >&2
+        exit 1
+    fi
+    # Perf gate: the borrowed-view scan must beat the owned compiled
+    # path by >=1.5x even at smoke scale (OWNED >= 1.5 * ZC, in integer
+    # arithmetic: 2*OWNED >= 3*ZC).
+    SUFFIX="${LEAKSIG_BENCH_SIGS}sigs_${LEAKSIG_BENCH_PACKETS}pkts"
+    OWNED_NS=$(median_ns "$OUTDIR/BENCH_detect.json" "compiled_scan_1thread_$SUFFIX")
+    ZC_NS=$(median_ns "$OUTDIR/BENCH_detect.json" "zero_copy_scan_1thread_$SUFFIX")
+    if [[ -z "$OWNED_NS" || -z "$ZC_NS" ]]; then
+        echo "smoke: missing median_ns for compiled/zero_copy 1thread rows" >&2
+        exit 1
+    fi
+    if (( 2 * OWNED_NS < 3 * ZC_NS )); then
+        echo "smoke: zero-copy scan not >=1.5x owned (owned ${OWNED_NS}ns vs zero-copy ${ZC_NS}ns)" >&2
+        exit 1
+    fi
+    echo "smoke: zero-copy 1thread ${ZC_NS}ns vs owned ${OWNED_NS}ns (>=1.5x ok)"
     INGEST_ROWS=$(grep -c '"group":"ingest"' "$OUTDIR/BENCH_ingest.json")
     if [[ "$INGEST_ROWS" -lt 2 ]]; then
         echo "smoke: expected >=2 ingest rows, got $INGEST_ROWS" >&2

@@ -13,6 +13,12 @@ cargo clippy --workspace --all-targets --all-features -- -D warnings
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+# Allocation gate: the zero-copy scan path must stay O(1) allocations
+# per batch (zero for well-formed steady state). Runs in its own
+# process because the counting global allocator is process-wide.
+echo "==> allocation regression (zero-copy scan path)"
+cargo test --quiet --test alloc_regression
+
 # Chaos soaks across the CI fault-seed matrix: every seed drives a
 # deterministic fault-injected run — distribution faults must still
 # converge, ingestion faults must be quarantined without losing recall.
